@@ -1,0 +1,87 @@
+//! End-to-end engine benchmarks: time-to-convergence of a small Tier-1
+//! snapshot load under each iBGP scheme, plus ablations (reflected
+//! marker, balanced APs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use workload::specs::{self, SpecOptions};
+use workload::{churn, regen, Tier1Config, Tier1Model};
+
+fn model() -> Tier1Model {
+    Tier1Model::generate(Tier1Config {
+        n_prefixes: 400,
+        n_pops: 6,
+        routers_per_pop: 4,
+        ..Tier1Config::default()
+    })
+}
+
+fn converge(spec: Arc<abrr::NetworkSpec>, m: &Tier1Model) -> u64 {
+    let mut sim = abrr::build_sim(spec);
+    regen::replay(&mut sim, &churn::initial_snapshot(m), 1_000);
+    // Time-budget sampling: single-path TBRR can oscillate persistently
+    // at workload scale (see EXPERIMENTS.md), so the bench measures the
+    // cost of loading the snapshot up to a fixed simulated horizon
+    // instead of asserting quiescence.
+    let out = sim.run(netsim::RunLimits {
+        max_events: u64::MAX,
+        max_time: 60_000_000,
+    });
+    out.events
+}
+
+fn bench_snapshot_convergence(c: &mut Criterion) {
+    let m = model();
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("snapshot_convergence");
+    g.sample_size(10);
+    g.bench_function("full_mesh", |b| {
+        let spec = Arc::new(specs::full_mesh_spec(&m, &opts));
+        b.iter(|| black_box(converge(spec.clone(), &m)))
+    });
+    for n_aps in [4usize, 13] {
+        g.bench_with_input(BenchmarkId::new("abrr", n_aps), &n_aps, |b, &n| {
+            let spec = Arc::new(specs::abrr_spec(&m, n, 2, &opts));
+            b.iter(|| black_box(converge(spec.clone(), &m)))
+        });
+    }
+    g.bench_function("tbrr_single", |b| {
+        let spec = Arc::new(specs::tbrr_spec(&m, 2, false, &opts));
+        b.iter(|| black_box(converge(spec.clone(), &m)))
+    });
+    g.bench_function("tbrr_multi", |b| {
+        let spec = Arc::new(specs::tbrr_spec(&m, 2, true, &opts));
+        b.iter(|| black_box(converge(spec.clone(), &m)))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let m = model();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    // Balanced vs uniform APs (DESIGN.md §5): same convergence work,
+    // different per-ARR balance — bench measures total event cost.
+    for balanced in [false, true] {
+        let opts = SpecOptions {
+            mrai_us: 1_000_000,
+            balanced_aps: balanced,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("ap_balance", balanced),
+            &balanced,
+            |b, _| {
+                let spec = Arc::new(specs::abrr_spec(&m, 8, 2, &opts));
+                b.iter(|| black_box(converge(spec.clone(), &m)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot_convergence, bench_ablations);
+criterion_main!(benches);

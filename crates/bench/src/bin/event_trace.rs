@@ -1,0 +1,121 @@
+//! Per-routing-event microscope for the §4.2 processing claim: inject K
+//! isolated routing events (one AS's routes re-announced with a changed
+//! path at all its peering points) and count, per event, what each RR
+//! fleet generates and transmits and what clients receive.
+//!
+//! This isolates the paper's core §4.2 mechanism: "in ABRR a change of
+//! route only goes to its two ARRs, while in TBRR a change of route
+//! occurs at possibly many TRRs" — and the ARR work-queue batching
+//! ("the ARR will normally have received most or all of these updates
+//! by the time it actually processes them").
+//!
+//! Run: `cargo run --release -p abrr-bench --bin event_trace
+//!       [--prefixes N] [--events K] [--rpp R]`
+
+use abrr::ExternalEvent;
+use abrr_bench::{converge_snapshot, counter_delta, fleet_stats, header, Args};
+use bgp_types::Med;
+use std::sync::Arc;
+use workload::specs::{self, SpecOptions};
+use workload::tier1::PrefixKind;
+use workload::{Tier1Config, Tier1Model};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Tier1Config {
+        seed: args.get("seed", Tier1Config::default().seed),
+        n_prefixes: args.get("prefixes", 300),
+        n_pops: args.get("pops", 13),
+        routers_per_pop: args.get("rpp", 24),
+        ..Tier1Config::default()
+    };
+    let k_events: usize = args.get("events", 10);
+    header(
+        "§4.2 event microscope — per-routing-event update costs",
+        &format!(
+            "seed={} prefixes={} pops={} routers/pop={} events={}",
+            cfg.seed, cfg.n_prefixes, cfg.n_pops, cfg.routers_per_pop, k_events
+        ),
+    );
+    let model = Tier1Model::generate(cfg);
+    // The K busiest peer prefixes, one event each.
+    let mut plans: Vec<&workload::PrefixPlan> = model
+        .prefixes
+        .iter()
+        .filter(|p| p.kind == PrefixKind::Peer)
+        .collect();
+    plans.sort_by_key(|p| std::cmp::Reverse(p.routes.len()));
+    plans.truncate(k_events);
+
+    let opts = SpecOptions {
+        mrai_us: 5_000_000,
+        account_bytes: true,
+        ..Default::default()
+    };
+
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>14} {:>16} {:>16}",
+        "scheme", "RR gen/ev", "RR tx/ev", "RR bytes/ev", "client rx/ev", "client rx/node/ev"
+    );
+    for (name, spec) in [
+        ("ABRR", specs::abrr_spec(&model, model.view.pops.len(), 2, &opts)),
+        ("TBRR", specs::tbrr_spec(&model, 2, false, &opts)),
+    ] {
+        let rrs = if spec.mode.has_abrr() {
+            spec.all_arrs()
+        } else {
+            spec.all_trrs()
+        };
+        let spec = Arc::new(spec);
+        let (mut sim, _) = converge_snapshot(spec.clone(), &model, 1_000);
+        let rr_b = fleet_stats(&sim, &rrs);
+        let cl_b = fleet_stats(&sim, &model.routers);
+        for (e, plan) in plans.iter().enumerate() {
+            let peer_as = plan.routes[0].peer_as;
+            let t0 = sim.now() + 1_000_000;
+            for (i, route) in plan
+                .routes
+                .iter()
+                .filter(|r| r.peer_as == peer_as)
+                .enumerate()
+            {
+                // Path change deeper in the Internet: alternate prepends.
+                let mut attrs = (*route.attrs).clone();
+                if e % 2 == 0 {
+                    attrs.as_path = attrs.as_path.prepend(peer_as);
+                }
+                attrs.med = Some(Med((e % 2) as u32));
+                sim.schedule_external(
+                    t0 + (i as u64) * 30_000,
+                    route.router,
+                    ExternalEvent::EbgpAnnounce {
+                        prefix: plan.prefix,
+                        peer_as,
+                        peer_addr: route.peer_addr,
+                        attrs: Arc::new(attrs),
+                    },
+                );
+            }
+            // Let each event fully settle before the next (isolation).
+            sim.run(netsim::RunLimits {
+                max_events: u64::MAX,
+                max_time: t0 + 60_000_000,
+            });
+        }
+        let rr_d = counter_delta(&rr_b, &fleet_stats(&sim, &rrs));
+        let cl_d = counter_delta(&cl_b, &fleet_stats(&sim, &model.routers));
+        let k = plans.len() as f64;
+        println!(
+            "{:<6} {:>12.1} {:>12.0} {:>14.0} {:>16.0} {:>16.2}",
+            name,
+            rr_d.generated as f64 / k,
+            rr_d.transmitted as f64 / k,
+            rr_d.bytes_transmitted as f64 / k,
+            cl_d.received as f64 / k,
+            cl_d.received as f64 / k / model.routers.len() as f64,
+        );
+    }
+    println!("\n# Paper mechanisms shown: ARR generations per event ≈ 2 (one per owning ARR,");
+    println!("# batched); TRR generations per event ≈ 10-40 (every affected cluster re-decides);");
+    println!("# ABRR pays more bytes per transmission (add-paths sets).");
+}

@@ -1,0 +1,55 @@
+//! Figure 3: average number of best AS-level routes per prefix as a
+//! function of the number of peer ASes, for "Peer ASes Only" and
+//! "All Sources" — plus the regression F(#PASs) fitted to the
+//! All-Sources curve (§3.1).
+//!
+//! Run: `cargo run --release -p abrr-bench --bin fig3 [--prefixes N]
+//! [--seed S] [--samples K]`
+
+use abrr_bench::{header, Args};
+use analysis::BalRegression;
+use workload::{Tier1Config, Tier1Model};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Tier1Config {
+        seed: args.get("seed", Tier1Config::default().seed),
+        n_prefixes: args.get("prefixes", 4_000),
+        ..Tier1Config::default()
+    };
+    let samples: usize = args.get("samples", 5);
+    header(
+        "Figure 3 — best AS-level routes per prefix vs #peer ASes",
+        &format!(
+            "seed={} prefixes={} peer_ases={} points/AS={} samples={}",
+            cfg.seed, cfg.n_prefixes, cfg.n_peer_ases, cfg.peering_points_per_as, samples
+        ),
+    );
+    let model = Tier1Model::generate(cfg.clone());
+    let xs: Vec<usize> = (0..=cfg.n_peer_ases).step_by(2).collect();
+    let rows = model.fig3_curve(&xs, samples);
+
+    println!("{:>10} {:>16} {:>14}", "#PeerASes", "PeerASesOnly", "AllSources");
+    for (x, peer_only, all) in &rows {
+        println!("{x:>10} {peer_only:>16.2} {all:>14.2}");
+    }
+
+    // Fit the regression to the All Sources curve, as §3.1 does.
+    let points: Vec<(f64, f64)> = rows.iter().map(|(x, _, a)| (*x as f64, *a)).collect();
+    let fit = BalRegression::fit(&points);
+    println!();
+    println!(
+        "F(#PASs) = {:.3} + {:.3}x   (R^2 = {:.4})",
+        fit.intercept,
+        fit.slope,
+        fit.r_squared(&points)
+    );
+    println!(
+        "F(25) = {:.2}   [paper's measured Tier-1 average: 10.2]",
+        fit.eval(25.0)
+    );
+    println!(
+        "measured avg #BAL over peer prefixes with all peers: {:.2}",
+        model.avg_bal_all_peers()
+    );
+}

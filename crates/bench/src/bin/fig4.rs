@@ -1,0 +1,78 @@
+//! Figure 4 (a–d): analytical # RIB-In entries of an ARR/TRR under the
+//! Appendix A expressions, sweeping (a) the number of routers*, (b) the
+//! number of APs/clusters, (c) RRs per AP/cluster, and (d) peer ASes.
+//! Defaults per the paper: 2000 routers, 50 APs/clusters, 2 RRs each,
+//! 30 peer ASes, 400K prefixes.
+//!
+//! *The Appendix A RIB expressions do not depend on the router count
+//! (RRs are assumed not to be border routers), so panel (a) is flat —
+//! exactly as in the paper, where the (a) plots are horizontal lines
+//! and "the plots for TBRR and TBRR-multi are identical".
+//!
+//! Run: `cargo run --release -p abrr-bench --bin fig4`
+
+use abrr_bench::header;
+use analysis::{sweep, BalRegression, Metric, Params};
+
+fn print_panel(title: &str, rows: &[analysis::SweepRow]) {
+    println!("\n## {title}");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "x", "ABRR", "TBRR", "TBRR-multi"
+    );
+    for r in rows {
+        println!(
+            "{:>10.0} {:>14.0} {:>14.0} {:>14.0}",
+            r.x, r.abrr, r.tbrr, r.tbrr_multi
+        );
+    }
+}
+
+fn main() {
+    let f = BalRegression::PAPER;
+    let base = Params::paper_default(f.eval(30.0));
+    header(
+        "Figure 4 — # RIB-In entries of an ARR/TRR (analytical)",
+        &format!(
+            "defaults: 400K prefixes, 50 APs/clusters, 2 RRs each, 30 peer ASes, #BAL=F(30)={:.2}",
+            f.eval(30.0)
+        ),
+    );
+
+    // (a) number of routers: the expressions are router-count-free.
+    let rows = sweep(
+        base,
+        &[500.0, 1000.0, 2000.0, 4000.0],
+        Metric::RibIn,
+        |_, _| {},
+    );
+    print_panel("(a) # routers (RIB sizes are independent of it)", &rows);
+
+    // (b) number of APs/clusters, redundancy held at 2 RRs each.
+    let rows = sweep(
+        base,
+        &[5.0, 10.0, 25.0, 50.0, 100.0, 200.0],
+        Metric::RibIn,
+        |p, x| {
+            p.partitions = x;
+            p.rrs = 2.0 * x;
+        },
+    );
+    print_panel("(b) # APs / clusters", &rows);
+
+    // (c) RRs per AP/cluster (the redundancy factor).
+    let rows = sweep(base, &[1.0, 2.0, 3.0, 4.0, 6.0], Metric::RibIn, |p, x| {
+        p.rrs = x * p.partitions;
+    });
+    print_panel("(c) # ARRs/TRRs per AP/cluster", &rows);
+
+    // (d) peer ASes → #BAL via the regression.
+    let rows = sweep(base, &[5.0, 10.0, 20.0, 30.0, 40.0], Metric::RibIn, |p, x| {
+        p.bal = f.eval(x);
+    });
+    print_panel("(d) # peer ASes", &rows);
+
+    println!(
+        "\nTakeaway check: ABRR < TBRR for all panels above — the paper's §3.2 primary takeaway."
+    );
+}

@@ -1,0 +1,86 @@
+//! §3.3 — iBGP peering-session accounting: the resource ABRR spends to
+//! buy its correctness (and why the paper argues that's fine on modern
+//! hardware: Cisco ASR1000s tested to 8000 sessions; RCP showed
+//! commodity boxes scale too).
+//!
+//! Prints the analytical counts for the paper's Tier-1 shape and
+//! cross-checks them against the session sets the simulator actually
+//! builds for the synthetic model.
+//!
+//! Run: `cargo run --release -p abrr-bench --bin sessions`
+
+use abrr_bench::{header, Args};
+use std::sync::Arc;
+use workload::specs::{self, SpecOptions};
+use workload::{Tier1Config, Tier1Model};
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "§3.3 — iBGP sessions per role",
+        "analytical counts for the paper's Tier-1 shape, plus simulator cross-check",
+    );
+
+    println!("\n## analytical (paper's AS: 1000 routers, 27 clusters, 2 RRs each)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14} {:>14}",
+        "#APs", "per ARR", "per TRR", "per ABRR client", "per TBRR client"
+    );
+    for aps in [5.0, 10.0, 13.0, 15.0, 27.0] {
+        let s = analysis::sessions(1000.0, aps, 27.0, 2.0);
+        println!(
+            "{:>8} {:>10.0} {:>10.0} {:>14.0} {:>14.0}",
+            aps, s.per_arr, s.per_trr, s.per_abrr_client, s.per_tbrr_client
+        );
+    }
+    println!("\n# paper: TRR max ~200 / avg ~100 sessions; \"Each ARR in this network");
+    println!("# would require over 1000 sessions\"; clients 20-30 (ABRR) vs 2 (TBRR).");
+
+    // Simulator cross-check at model scale.
+    let cfg = Tier1Config {
+        n_prefixes: args.get("prefixes", 50),
+        ..Tier1Config::default()
+    };
+    let model = Tier1Model::generate(cfg);
+    let n_routers = model.routers.len();
+    let opts = SpecOptions::default();
+    println!("\n## simulator cross-check ({} routers, 13 PoPs)", n_routers);
+    for n_aps in [13usize] {
+        let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
+        let sim = abrr::build_sim(spec.clone());
+        let arr = spec.all_arrs()[0];
+        let arr_sessions = spec
+            .all_nodes()
+            .iter()
+            .filter(|n| **n != arr && sim.has_session(arr, **n))
+            .count();
+        let client = model.routers[0];
+        let client_sessions = spec
+            .all_nodes()
+            .iter()
+            .filter(|n| **n != client && sim.has_session(client, **n))
+            .count();
+        println!(
+            "ABRR #APs={n_aps}: sessions per ARR = {arr_sessions} (every other node), per client = {client_sessions}"
+        );
+    }
+    {
+        let spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
+        let sim = abrr::build_sim(spec.clone());
+        let trr = spec.all_trrs()[0];
+        let trr_sessions = spec
+            .all_nodes()
+            .iter()
+            .filter(|n| **n != trr && sim.has_session(trr, **n))
+            .count();
+        let client = model.routers[0];
+        let client_sessions = spec
+            .all_nodes()
+            .iter()
+            .filter(|n| **n != client && sim.has_session(client, **n))
+            .count();
+        println!(
+            "TBRR 13 clusters: sessions per TRR = {trr_sessions} (cluster + mesh), per client = {client_sessions}"
+        );
+    }
+}

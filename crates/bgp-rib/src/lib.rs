@@ -1,0 +1,27 @@
+//! RIBs and the BGP best-path decision process.
+//!
+//! Two entry points matter to the paper:
+//!
+//! * [`decision::best_path`] — the full RFC 4271 §9.1.2.2 process
+//!   (paper Table 2, steps 1–8), run by clients and by traditional
+//!   TRRs.
+//! * [`decision::best_as_level`] — steps 1–4 only, producing the set of
+//!   routes "that tie for best in terms of AS-level criteria" (paper
+//!   §2.1). This is what an ARR computes and advertises to all clients
+//!   via add-paths. Vendor-specific steps (Cisco weight, locally
+//!   originated) are deliberately *not* part of this computation, per
+//!   the paper.
+//!
+//! The RIB structures ([`AdjRibIn`], [`LocRib`], [`AdjRibOut`]) follow
+//! the conceptual RIBs of RFC 4271 §3.2, with [`AdjRibOut`] organized
+//! into *peer groups* because the paper's RIB-Out accounting (Appendix
+//! A) assumes one RIB-Out copy per peer group.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod rib;
+
+pub use decision::{best_as_level, best_path, Candidate, DecisionConfig, IgpMetric, MedMode};
+pub use rib::{AdjRibIn, AdjRibOut, LocRib, PathSet};

@@ -1,0 +1,462 @@
+//! The conceptual RIBs of RFC 4271 §3.2: Adj-RIB-In, Loc-RIB,
+//! Adj-RIB-Out — with add-paths "replace the whole set" semantics and
+//! peer-group-based Adj-RIB-Out, matching the accounting of paper
+//! Appendix A ("We assume that ARRs have configured a single peer
+//! group"; TRRs have two).
+//!
+//! Path attributes are held behind [`Arc`] so that one attribute object
+//! is shared by every RIB and in-flight message that references it —
+//! at experiment scale (tens of thousands of prefixes × dozens of
+//! routers) this is the difference between megabytes and gigabytes.
+
+use bgp_types::{Ipv4Prefix, PathAttributes, PathId, RouterId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The set of paths advertised for one prefix on one session, keyed by
+/// add-paths [`PathId`]. Kept sorted by path id for deterministic
+/// comparison.
+pub type PathSet = Vec<(PathId, Arc<PathAttributes>)>;
+
+fn normalize(mut set: PathSet) -> PathSet {
+    set.sort_by_key(|(id, _)| *id);
+    set.dedup_by(|a, b| a.0 == b.0);
+    set
+}
+
+/// Adj-RIB-In: per-peer tables of received routes.
+///
+/// Replace-set semantics per (peer, prefix): each update carries the
+/// complete new path set for the prefix (paper §3.4: "should there be a
+/// change in the set of best AS-level routes, the ARRs will convey all
+/// such routes to the clients with each update"). A plain single-path
+/// session is the one-element special case.
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibIn {
+    tables: BTreeMap<RouterId, BTreeMap<Ipv4Prefix, PathSet>>,
+    entries: usize,
+}
+
+impl AdjRibIn {
+    /// Creates an empty Adj-RIB-In.
+    pub fn new() -> Self {
+        AdjRibIn::default()
+    }
+
+    /// Replaces the path set for `(peer, prefix)`. An empty `paths` is a
+    /// withdrawal. Returns `true` when the stored set changed.
+    pub fn set_paths(&mut self, peer: RouterId, prefix: Ipv4Prefix, paths: PathSet) -> bool {
+        let paths = normalize(paths);
+        let table = self.tables.entry(peer).or_default();
+        if paths.is_empty() {
+            match table.remove(&prefix) {
+                Some(old) => {
+                    self.entries -= old.len();
+                    true
+                }
+                None => false,
+            }
+        } else {
+            match table.get_mut(&prefix) {
+                Some(slot) if *slot == paths => false,
+                Some(slot) => {
+                    self.entries -= slot.len();
+                    self.entries += paths.len();
+                    *slot = paths;
+                    true
+                }
+                None => {
+                    self.entries += paths.len();
+                    table.insert(prefix, paths);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Replaces with a single path (plain session convenience); path id 0.
+    pub fn set_single(
+        &mut self,
+        peer: RouterId,
+        prefix: Ipv4Prefix,
+        attrs: Arc<PathAttributes>,
+    ) -> bool {
+        self.set_paths(peer, prefix, vec![(PathId(0), attrs)])
+    }
+
+    /// Withdraws all paths for `(peer, prefix)`.
+    pub fn withdraw(&mut self, peer: RouterId, prefix: Ipv4Prefix) -> bool {
+        self.set_paths(peer, prefix, Vec::new())
+    }
+
+    /// Drops everything learned from `peer` (session reset). Returns the
+    /// prefixes that were present.
+    pub fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
+        match self.tables.remove(&peer) {
+            Some(table) => {
+                self.entries -= table.values().map(|s| s.len()).sum::<usize>();
+                table.into_keys().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The path set for `(peer, prefix)`, empty slice if none.
+    pub fn paths(&self, peer: RouterId, prefix: &Ipv4Prefix) -> &[(PathId, Arc<PathAttributes>)] {
+        self.tables
+            .get(&peer)
+            .and_then(|t| t.get(prefix))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates every `(peer, path id, attrs)` stored for `prefix`.
+    pub fn all_paths<'a>(
+        &'a self,
+        prefix: &'a Ipv4Prefix,
+    ) -> impl Iterator<Item = (RouterId, PathId, &'a Arc<PathAttributes>)> + 'a {
+        self.tables.iter().flat_map(move |(peer, t)| {
+            t.get(prefix)
+                .into_iter()
+                .flatten()
+                .map(move |(id, a)| (*peer, *id, a))
+        })
+    }
+
+    /// Every prefix known from any peer (deduplicated, sorted).
+    pub fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self
+            .tables
+            .values()
+            .flat_map(|t| t.keys().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Total stored route entries — the paper's RIB-In size metric
+    /// (one entry per (peer, prefix, path)).
+    pub fn num_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Peers with a table (possibly empty after withdrawals).
+    pub fn peers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.tables.keys().copied()
+    }
+}
+
+/// Loc-RIB: the router's selected route per prefix.
+///
+/// Backed by an ordered map; [`LocRib::lookup`] performs longest-prefix
+/// match by probing successively shorter prefixes (33 bounded probes),
+/// which is plenty for the audits while staying memory-lean at
+/// experiment scale. For a hot data-plane FIB, see
+/// [`bgp_types::PrefixTrie`].
+#[derive(Clone, Debug, Default)]
+pub struct LocRib<T> {
+    table: BTreeMap<Ipv4Prefix, T>,
+}
+
+impl<T: Clone + PartialEq> LocRib<T> {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> Self {
+        LocRib {
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the selection for `prefix`; `None` removes it. Returns
+    /// `true` when the stored value changed.
+    pub fn set(&mut self, prefix: Ipv4Prefix, value: Option<T>) -> bool {
+        match value {
+            Some(v) => match self.table.get_mut(&prefix) {
+                Some(slot) if *slot == v => false,
+                Some(slot) => {
+                    *slot = v;
+                    true
+                }
+                None => {
+                    self.table.insert(prefix, v);
+                    true
+                }
+            },
+            None => self.table.remove(&prefix).is_some(),
+        }
+    }
+
+    /// The current selection for `prefix`.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        self.table.get(prefix)
+    }
+
+    /// Longest-prefix match against a destination address.
+    pub fn lookup(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        for len in (0..=32u8).rev() {
+            let probe = Ipv4Prefix::new(addr, len);
+            if let Some(v) = self.table.get(&probe) {
+                return Some((probe, v));
+            }
+        }
+        None
+    }
+
+    /// Number of selected prefixes.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates `(prefix, selection)` in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
+        self.table.iter()
+    }
+}
+
+/// Adj-RIB-Out organized as peer groups: every member of a group
+/// receives the same routes, and the RIB-Out stores one copy per group
+/// (paper Appendix A's accounting; also how real routers exploit peer
+/// groups to generate an update once, per §3.3).
+///
+/// Per-peer exceptions (e.g. "do not send a route back to the client it
+/// was learned from", Table 1) are handled by the engines at
+/// transmission time, not by duplicating RIB-Out state.
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibOut {
+    groups: BTreeMap<u32, GroupOut>,
+    entries: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct GroupOut {
+    members: Vec<RouterId>,
+    table: BTreeMap<Ipv4Prefix, PathSet>,
+}
+
+impl AdjRibOut {
+    /// Creates an empty Adj-RIB-Out.
+    pub fn new() -> Self {
+        AdjRibOut::default()
+    }
+
+    /// Creates (or replaces) a peer group with the given members.
+    pub fn define_group(&mut self, group: u32, members: Vec<RouterId>) {
+        let g = self.groups.entry(group).or_default();
+        g.members = members;
+    }
+
+    /// Adds a member to a group (e.g. a late-joining client).
+    pub fn add_member(&mut self, group: u32, member: RouterId) {
+        let g = self.groups.entry(group).or_default();
+        if !g.members.contains(&member) {
+            g.members.push(member);
+        }
+    }
+
+    /// Members of a group.
+    pub fn members(&self, group: u32) -> &[RouterId] {
+        self.groups
+            .get(&group)
+            .map(|g| g.members.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Replaces the advertised path set for `prefix` in `group`. Empty
+    /// set = withdrawal. Returns `true` when the stored set changed —
+    /// i.e. when an update had to be *generated* (the expensive
+    /// operation per paper §4.2).
+    pub fn set_paths(&mut self, group: u32, prefix: Ipv4Prefix, paths: PathSet) -> bool {
+        let paths = normalize(paths);
+        let g = self.groups.entry(group).or_default();
+        if paths.is_empty() {
+            match g.table.remove(&prefix) {
+                Some(old) => {
+                    self.entries -= old.len();
+                    true
+                }
+                None => false,
+            }
+        } else {
+            match g.table.get_mut(&prefix) {
+                Some(slot) if *slot == paths => false,
+                Some(slot) => {
+                    self.entries -= slot.len();
+                    self.entries += paths.len();
+                    *slot = paths;
+                    true
+                }
+                None => {
+                    self.entries += paths.len();
+                    g.table.insert(prefix, paths);
+                    true
+                }
+            }
+        }
+    }
+
+    /// The advertised set for `prefix` in `group`.
+    pub fn paths(&self, group: u32, prefix: &Ipv4Prefix) -> &[(PathId, Arc<PathAttributes>)] {
+        self.groups
+            .get(&group)
+            .and_then(|g| g.table.get(prefix))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total stored entries across groups — the paper's RIB-Out size
+    /// metric (one copy per peer group).
+    pub fn num_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The defined group ids.
+    pub fn group_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Iterates `(prefix, path set)` for one group.
+    pub fn iter_group(&self, group: u32) -> impl Iterator<Item = (&Ipv4Prefix, &PathSet)> {
+        self.groups
+            .get(&group)
+            .into_iter()
+            .flat_map(|g| g.table.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, NextHop};
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(seed: u32) -> Arc<PathAttributes> {
+        Arc::new(PathAttributes::ebgp(
+            AsPath::sequence([Asn(seed)]),
+            NextHop(seed),
+        ))
+    }
+
+    #[test]
+    fn rib_in_replace_set_semantics() {
+        let mut rib = AdjRibIn::new();
+        let peer = RouterId(1);
+        let p = pfx("10.0.0.0/8");
+        assert!(rib.set_paths(peer, p, vec![(PathId(1), attrs(1)), (PathId(2), attrs(2))]));
+        assert_eq!(rib.num_entries(), 2);
+        // Same set (different order) = no change.
+        assert!(!rib.set_paths(peer, p, vec![(PathId(2), attrs(2)), (PathId(1), attrs(1))]));
+        // Shrinking the set replaces wholesale.
+        assert!(rib.set_paths(peer, p, vec![(PathId(2), attrs(2))]));
+        assert_eq!(rib.num_entries(), 1);
+        assert_eq!(rib.paths(peer, &p).len(), 1);
+        // Withdraw.
+        assert!(rib.withdraw(peer, p));
+        assert!(!rib.withdraw(peer, p));
+        assert_eq!(rib.num_entries(), 0);
+    }
+
+    #[test]
+    fn rib_in_counts_across_peers() {
+        let mut rib = AdjRibIn::new();
+        let p = pfx("10.0.0.0/8");
+        rib.set_single(RouterId(1), p, attrs(1));
+        rib.set_single(RouterId(2), p, attrs(2));
+        rib.set_single(RouterId(2), pfx("11.0.0.0/8"), attrs(3));
+        assert_eq!(rib.num_entries(), 3);
+        assert_eq!(rib.all_paths(&p).count(), 2);
+        assert_eq!(rib.known_prefixes().len(), 2);
+    }
+
+    #[test]
+    fn rib_in_drop_peer() {
+        let mut rib = AdjRibIn::new();
+        let p = pfx("10.0.0.0/8");
+        rib.set_single(RouterId(1), p, attrs(1));
+        rib.set_single(RouterId(2), p, attrs(2));
+        let dropped = rib.drop_peer(RouterId(1));
+        assert_eq!(dropped, vec![p]);
+        assert_eq!(rib.num_entries(), 1);
+        assert!(rib.drop_peer(RouterId(1)).is_empty());
+    }
+
+    #[test]
+    fn rib_in_path_id_dedup() {
+        let mut rib = AdjRibIn::new();
+        let p = pfx("10.0.0.0/8");
+        // Duplicate path id in one set: only one survives normalization.
+        rib.set_paths(
+            RouterId(1),
+            p,
+            vec![(PathId(1), attrs(1)), (PathId(1), attrs(2))],
+        );
+        assert_eq!(rib.num_entries(), 1);
+    }
+
+    #[test]
+    fn loc_rib_set_get_lookup() {
+        let mut rib: LocRib<u32> = LocRib::new();
+        assert!(rib.set(pfx("10.0.0.0/8"), Some(1)));
+        assert!(!rib.set(pfx("10.0.0.0/8"), Some(1)));
+        assert!(rib.set(pfx("10.0.0.0/8"), Some(2)));
+        assert!(rib.set(pfx("10.1.0.0/16"), Some(3)));
+        assert_eq!(rib.lookup(0x0A010000).map(|(_, v)| *v), Some(3));
+        assert_eq!(rib.lookup(0x0AFF0000).map(|(_, v)| *v), Some(2));
+        assert_eq!(rib.lookup(0x0B000000), None);
+        assert!(rib.set(pfx("10.1.0.0/16"), None));
+        assert!(!rib.set(pfx("10.1.0.0/16"), None));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn loc_rib_default_route() {
+        let mut rib: LocRib<&str> = LocRib::new();
+        rib.set(Ipv4Prefix::DEFAULT, Some("default"));
+        assert_eq!(rib.lookup(0xDEADBEEF).map(|(_, v)| *v), Some("default"));
+    }
+
+    #[test]
+    fn rib_out_generation_detection() {
+        let mut out = AdjRibOut::new();
+        out.define_group(0, vec![RouterId(1), RouterId(2)]);
+        let p = pfx("10.0.0.0/8");
+        // First advertisement: generated.
+        assert!(out.set_paths(0, p, vec![(PathId(1), attrs(1))]));
+        // Identical set: NOT generated.
+        assert!(!out.set_paths(0, p, vec![(PathId(1), attrs(1))]));
+        // Changed attrs under same path id: generated.
+        assert!(out.set_paths(0, p, vec![(PathId(1), attrs(9))]));
+        // Withdraw: generated; second withdraw: not.
+        assert!(out.set_paths(0, p, vec![]));
+        assert!(!out.set_paths(0, p, vec![]));
+    }
+
+    #[test]
+    fn rib_out_entries_counted_per_group_once() {
+        let mut out = AdjRibOut::new();
+        out.define_group(0, vec![RouterId(1), RouterId(2), RouterId(3)]);
+        out.define_group(1, vec![RouterId(4)]);
+        let p = pfx("10.0.0.0/8");
+        out.set_paths(0, p, vec![(PathId(1), attrs(1)), (PathId(2), attrs(2))]);
+        out.set_paths(1, p, vec![(PathId(1), attrs(1))]);
+        // 2 entries in group 0 (not multiplied by 3 members) + 1 in group 1.
+        assert_eq!(out.num_entries(), 3);
+    }
+
+    #[test]
+    fn rib_out_group_membership() {
+        let mut out = AdjRibOut::new();
+        out.define_group(0, vec![RouterId(1)]);
+        out.add_member(0, RouterId(2));
+        out.add_member(0, RouterId(2));
+        assert_eq!(out.members(0), &[RouterId(1), RouterId(2)]);
+        assert!(out.members(9).is_empty());
+    }
+}

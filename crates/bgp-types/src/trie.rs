@@ -1,0 +1,340 @@
+//! A binary prefix trie keyed by [`Ipv4Prefix`].
+//!
+//! Used for RIB tables and longest-prefix matching. The design follows
+//! the classic uncompressed binary trie: one node per prefix bit. This
+//! keeps the code simple and robust (a design goal borrowed from
+//! smoltcp); RIB-scale experiments in this repo hold at most a few
+//! hundred thousand prefixes, where the uncompressed trie is entirely
+//! adequate and trivially correct.
+
+use crate::prefix::Ipv4Prefix;
+use std::fmt;
+
+#[derive(Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<T> Node<T> {
+    fn is_leaf_empty(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from [`Ipv4Prefix`] to `T` supporting exact lookup, removal,
+/// longest-prefix match, and in-order iteration.
+///
+/// ```
+/// use bgp_types::{Ipv4Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let (p, v) = t.longest_match(0x0A010203).unwrap();
+/// assert_eq!(*v, "fine");
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// ```
+#[derive(Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Returns the entry for `prefix`, inserting `default()` if absent.
+    pub fn get_or_insert_with(&mut self, prefix: Ipv4Prefix, default: impl FnOnce() -> T) -> &mut T {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        if node.value.is_none() {
+            node.value = Some(default());
+            self.len += 1;
+        }
+        node.value.as_mut().expect("just inserted")
+    }
+
+    /// Removes and returns the value at `prefix`, pruning empty branches.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        fn rec<T>(node: &mut Node<T>, prefix: &Ipv4Prefix, depth: u8) -> Option<T> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let b = prefix.bit(depth) as usize;
+            let child = node.children[b].as_deref_mut()?;
+            let out = rec(child, prefix, depth + 1);
+            if out.is_some() && child.is_leaf_empty() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Longest-prefix match for a destination address: the most specific
+    /// stored prefix covering `addr`.
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Ipv4Prefix, &T)> = None;
+        let mut depth: u8 = 0;
+        loop {
+            if let Some(v) = &node.value {
+                best = Some((Ipv4Prefix::new(addr, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = ((addr >> (31 - depth)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Iterates all `(prefix, value)` pairs in trie (lexicographic) order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            stack: vec![(&self.root, 0u32, 0u8)],
+        }
+    }
+
+    /// Iterates pairs whose prefix overlaps the address range
+    /// `[range_start, range_end]` (used for Address Partitions).
+    pub fn iter_overlapping(
+        &self,
+        range_start: u32,
+        range_end: u32,
+    ) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        self.iter().filter(move |(p, _)| {
+            p.first_addr() <= range_end && p.last_addr() >= range_start
+        })
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = Node::default();
+        self.len = 0;
+    }
+}
+
+/// In-order iterator over a [`PrefixTrie`].
+pub struct Iter<'a, T> {
+    // (node, accumulated address bits, depth)
+    stack: Vec<(&'a Node<T>, u32, u8)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Ipv4Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, addr, depth)) = self.stack.pop() {
+            // Push children right-then-left so the left (0) branch pops first.
+            if depth < 32 {
+                if let Some(c) = node.children[1].as_deref() {
+                    self.stack.push((c, addr | (0x8000_0000 >> depth), depth + 1));
+                }
+                if let Some(c) = node.children[0].as_deref() {
+                    self.stack.push((c, addr, depth + 1));
+                }
+            }
+            if let Some(v) = &node.value {
+                return Some((Ipv4Prefix::new(addr, depth), v));
+            }
+        }
+        None
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PrefixTrie<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn root_prefix_default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, "default");
+        assert_eq!(t.get(&Ipv4Prefix::DEFAULT), Some(&"default"));
+        let (pre, v) = t.longest_match(0x01020304).unwrap();
+        assert_eq!(pre, Ipv4Prefix::DEFAULT);
+        assert_eq!(*v, "default");
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        assert_eq!(t.longest_match(0x0A010203).map(|(_, v)| *v), Some(24));
+        assert_eq!(t.longest_match(0x0A01FF00).map(|(_, v)| *v), Some(16));
+        assert_eq!(t.longest_match(0x0AFF0000).map(|(_, v)| *v), Some(8));
+        assert_eq!(t.longest_match(0x0B000000), None);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "9.0.0.0/8", "10.1.0.0/16", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Ipv4Prefix> = t.iter().map(|(p, _)| p).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn iter_overlapping_filters_by_range() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("20.0.0.0/8"), ());
+        t.insert(p("30.0.0.0/8"), ());
+        let hits: Vec<_> = t
+            .iter_overlapping(0x0A000000, 0x14FFFFFF) // 10.0.0.0 - 20.255.255.255
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert_eq!(hits, vec!["10.0.0.0/8", "20.0.0.0/8"]);
+    }
+
+    #[test]
+    fn get_or_insert_with() {
+        let mut t: PrefixTrie<Vec<u32>> = PrefixTrie::new();
+        t.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(1);
+        t.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_prunes_branches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), ());
+        t.insert(p("10.0.0.0/8"), ());
+        t.remove(&p("10.1.2.0/24"));
+        assert_eq!(t.len(), 1);
+        // The /8 node must survive pruning.
+        assert!(t.get(&p("10.0.0.0/8")).is_some());
+        // Root must not have dangling deep children: /24 unreachable now.
+        assert!(t.get(&p("10.1.2.0/24")).is_none());
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), 42);
+        assert_eq!(t.longest_match(0x01020304).map(|(_, v)| *v), Some(42));
+        assert_eq!(t.longest_match(0x01020305), None);
+    }
+}

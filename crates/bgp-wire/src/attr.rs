@@ -1,0 +1,387 @@
+//! Path-attribute encode/decode (RFC 4271 §4.3, §5).
+//!
+//! AS_PATH is encoded with 4-octet AS numbers (RFC 6793 "NEW_AS_PATH
+//! everywhere" style, as negotiated by the 4-octet-AS capability).
+
+use crate::error::{need, WireError};
+use bgp_types::{
+    AsPath, AsSegment, Asn, ClusterId, Community, ExtCommunity, LocalPref, Med, NextHop, Origin,
+    OriginatorId, PathAttributes,
+};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Attribute type codes used by this codec.
+pub mod code {
+    /// ORIGIN (well-known mandatory).
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH (well-known mandatory).
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP (well-known mandatory).
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC (optional non-transitive).
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF (well-known, iBGP).
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE (well-known discretionary) — parsed and ignored.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR (optional transitive) — parsed and ignored.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES (RFC 1997, optional transitive).
+    pub const COMMUNITIES: u8 = 8;
+    /// ORIGINATOR_ID (RFC 4456, optional non-transitive).
+    pub const ORIGINATOR_ID: u8 = 9;
+    /// CLUSTER_LIST (RFC 4456, optional non-transitive).
+    pub const CLUSTER_LIST: u8 = 10;
+    /// EXTENDED COMMUNITIES (RFC 4360, optional transitive).
+    pub const EXT_COMMUNITIES: u8 = 16;
+}
+
+/// Attribute flag bits.
+pub mod flags {
+    /// Attribute is optional.
+    pub const OPTIONAL: u8 = 0x80;
+    /// Attribute is transitive.
+    pub const TRANSITIVE: u8 = 0x40;
+    /// Partial bit.
+    pub const PARTIAL: u8 = 0x20;
+    /// Two-byte length field follows.
+    pub const EXT_LEN: u8 = 0x10;
+}
+
+fn put_attr(out: &mut BytesMut, flag: u8, code: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.put_u8(flag | flags::EXT_LEN);
+        out.put_u8(code);
+        out.put_u16(body.len() as u16);
+    } else {
+        out.put_u8(flag);
+        out.put_u8(code);
+        out.put_u8(body.len() as u8);
+    }
+    out.put_slice(body);
+}
+
+fn encode_as_path(path: &AsPath) -> Vec<u8> {
+    let mut body = Vec::new();
+    for seg in &path.segments {
+        let (ty, asns) = match seg {
+            AsSegment::Set(v) => (1u8, v),
+            AsSegment::Sequence(v) => (2u8, v),
+        };
+        // RFC limits a segment to 255 ASes; long paths are split.
+        for chunk in asns.chunks(255) {
+            body.push(ty);
+            body.push(chunk.len() as u8);
+            for a in chunk {
+                body.extend_from_slice(&a.0.to_be_bytes());
+            }
+        }
+        if asns.is_empty() {
+            body.push(ty);
+            body.push(0);
+        }
+    }
+    body
+}
+
+fn decode_as_path(mut body: &[u8]) -> Result<AsPath, WireError> {
+    let mut segments = Vec::new();
+    while body.has_remaining() {
+        need("as-path segment header", body.remaining(), 2)?;
+        let ty = body.get_u8();
+        let count = body.get_u8() as usize;
+        need("as-path segment body", body.remaining(), count * 4)?;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(body.get_u32()));
+        }
+        let seg = match ty {
+            1 => AsSegment::Set(asns),
+            2 => AsSegment::Sequence(asns),
+            _ => return Err(WireError::MalformedAttributes("bad AS_PATH segment type")),
+        };
+        segments.push(seg);
+    }
+    Ok(AsPath { segments })
+}
+
+/// Encodes the full attribute block (without the two-byte total-length
+/// field, which belongs to the UPDATE message).
+pub fn encode_attrs(attrs: &PathAttributes, out: &mut BytesMut) {
+    // ORIGIN
+    put_attr(out, flags::TRANSITIVE, code::ORIGIN, &[attrs.origin.code()]);
+    // AS_PATH
+    put_attr(
+        out,
+        flags::TRANSITIVE,
+        code::AS_PATH,
+        &encode_as_path(&attrs.as_path),
+    );
+    // NEXT_HOP
+    put_attr(
+        out,
+        flags::TRANSITIVE,
+        code::NEXT_HOP,
+        &attrs.next_hop.0.to_be_bytes(),
+    );
+    if let Some(Med(m)) = attrs.med {
+        put_attr(out, flags::OPTIONAL, code::MED, &m.to_be_bytes());
+    }
+    if let Some(LocalPref(lp)) = attrs.local_pref {
+        put_attr(out, flags::TRANSITIVE, code::LOCAL_PREF, &lp.to_be_bytes());
+    }
+    if !attrs.communities.is_empty() {
+        let mut body = Vec::with_capacity(attrs.communities.len() * 4);
+        for c in &attrs.communities {
+            body.extend_from_slice(&c.0.to_be_bytes());
+        }
+        put_attr(
+            out,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            code::COMMUNITIES,
+            &body,
+        );
+    }
+    if let Some(OriginatorId(oid)) = attrs.originator_id {
+        put_attr(out, flags::OPTIONAL, code::ORIGINATOR_ID, &oid.to_be_bytes());
+    }
+    if !attrs.cluster_list.is_empty() {
+        let mut body = Vec::with_capacity(attrs.cluster_list.len() * 4);
+        for c in &attrs.cluster_list {
+            body.extend_from_slice(&c.0.to_be_bytes());
+        }
+        put_attr(out, flags::OPTIONAL, code::CLUSTER_LIST, &body);
+    }
+    if !attrs.ext_communities.is_empty() {
+        let mut body = Vec::with_capacity(attrs.ext_communities.len() * 8);
+        for c in &attrs.ext_communities {
+            body.extend_from_slice(&c.0);
+        }
+        put_attr(
+            out,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            code::EXT_COMMUNITIES,
+            &body,
+        );
+    }
+}
+
+/// Size in bytes [`encode_attrs`] would produce.
+pub fn encoded_attrs_len(attrs: &PathAttributes) -> usize {
+    let mut b = BytesMut::new();
+    encode_attrs(attrs, &mut b);
+    b.len()
+}
+
+/// Decodes an attribute block into [`PathAttributes`].
+///
+/// Unknown optional attributes are skipped; unknown well-known
+/// attributes are an error, per RFC 4271 §6.3.
+pub fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, WireError> {
+    let mut origin = None;
+    let mut as_path = None;
+    let mut next_hop = None;
+    let mut med = None;
+    let mut local_pref = None;
+    let mut communities = Vec::new();
+    let mut ext_communities = Vec::new();
+    let mut originator_id = None;
+    let mut cluster_list = Vec::new();
+
+    while buf.has_remaining() {
+        need("attribute header", buf.remaining(), 2)?;
+        let flag = buf.get_u8();
+        let code = buf.get_u8();
+        let len = if flag & flags::EXT_LEN != 0 {
+            need("attribute ext length", buf.remaining(), 2)?;
+            buf.get_u16() as usize
+        } else {
+            need("attribute length", buf.remaining(), 1)?;
+            buf.get_u8() as usize
+        };
+        need("attribute body", buf.remaining(), len)?;
+        let (body, rest) = buf.split_at(len);
+        buf = rest;
+
+        match code {
+            code::ORIGIN => {
+                if len != 1 {
+                    return Err(WireError::MalformedAttributes("ORIGIN length"));
+                }
+                origin = Some(
+                    Origin::from_code(body[0])
+                        .ok_or(WireError::MalformedAttributes("ORIGIN value"))?,
+                );
+            }
+            code::AS_PATH => {
+                as_path = Some(decode_as_path(body)?);
+            }
+            code::NEXT_HOP => {
+                if len != 4 {
+                    return Err(WireError::MalformedAttributes("NEXT_HOP length"));
+                }
+                next_hop = Some(NextHop(u32::from_be_bytes(body.try_into().unwrap())));
+            }
+            code::MED => {
+                if len != 4 {
+                    return Err(WireError::MalformedAttributes("MED length"));
+                }
+                med = Some(Med(u32::from_be_bytes(body.try_into().unwrap())));
+            }
+            code::LOCAL_PREF => {
+                if len != 4 {
+                    return Err(WireError::MalformedAttributes("LOCAL_PREF length"));
+                }
+                local_pref = Some(LocalPref(u32::from_be_bytes(body.try_into().unwrap())));
+            }
+            code::ATOMIC_AGGREGATE | code::AGGREGATOR => {
+                // Parsed and ignored: not used by any engine in this repo.
+            }
+            code::COMMUNITIES => {
+                if len % 4 != 0 {
+                    return Err(WireError::MalformedAttributes("COMMUNITIES length"));
+                }
+                for chunk in body.chunks_exact(4) {
+                    communities.push(Community(u32::from_be_bytes(chunk.try_into().unwrap())));
+                }
+            }
+            code::ORIGINATOR_ID => {
+                if len != 4 {
+                    return Err(WireError::MalformedAttributes("ORIGINATOR_ID length"));
+                }
+                originator_id = Some(OriginatorId(u32::from_be_bytes(body.try_into().unwrap())));
+            }
+            code::CLUSTER_LIST => {
+                if len % 4 != 0 {
+                    return Err(WireError::MalformedAttributes("CLUSTER_LIST length"));
+                }
+                for chunk in body.chunks_exact(4) {
+                    cluster_list.push(ClusterId(u32::from_be_bytes(chunk.try_into().unwrap())));
+                }
+            }
+            code::EXT_COMMUNITIES => {
+                if len % 8 != 0 {
+                    return Err(WireError::MalformedAttributes("EXT_COMMUNITIES length"));
+                }
+                for chunk in body.chunks_exact(8) {
+                    ext_communities.push(ExtCommunity(chunk.try_into().unwrap()));
+                }
+            }
+            other => {
+                if flag & flags::OPTIONAL == 0 {
+                    return Err(WireError::UnrecognizedWellKnown(other));
+                }
+                // Unknown optional attribute: skipped (body already consumed).
+            }
+        }
+    }
+
+    Ok(PathAttributes {
+        origin: origin.ok_or(WireError::MalformedAttributes("missing ORIGIN"))?,
+        as_path: as_path.ok_or(WireError::MalformedAttributes("missing AS_PATH"))?,
+        next_hop: next_hop.ok_or(WireError::MalformedAttributes("missing NEXT_HOP"))?,
+        med,
+        local_pref,
+        communities,
+        ext_communities,
+        originator_id,
+        cluster_list,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::AsPath;
+
+    fn sample_attrs() -> PathAttributes {
+        let mut a = PathAttributes::ebgp(AsPath::sequence([Asn(7018), Asn(3356)]), NextHop(0x0A000001));
+        a.med = Some(Med(50));
+        a.local_pref = Some(LocalPref(200));
+        a.communities = vec![Community::new(7018, 100)];
+        a.ext_communities = vec![ExtCommunity::ABRR_REFLECTED];
+        a.originator_id = Some(OriginatorId(0x0A0000FF));
+        a.cluster_list = vec![ClusterId(1), ClusterId(2)];
+        a
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let a = sample_attrs();
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        let d = decode_attrs(&b).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn roundtrip_minimal() {
+        let a = PathAttributes::ebgp(AsPath::empty(), NextHop(1));
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        let d = decode_attrs(&b).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn missing_mandatory_is_error() {
+        // Encode only an ORIGIN attribute.
+        let mut b = BytesMut::new();
+        put_attr(&mut b, flags::TRANSITIVE, code::ORIGIN, &[0]);
+        assert!(matches!(
+            decode_attrs(&b),
+            Err(WireError::MalformedAttributes("missing AS_PATH"))
+        ));
+    }
+
+    #[test]
+    fn unknown_optional_is_skipped() {
+        let a = PathAttributes::ebgp(AsPath::sequence([Asn(1)]), NextHop(1));
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        // Append an unknown optional attribute (type 200).
+        put_attr(&mut b, flags::OPTIONAL, 200, &[1, 2, 3]);
+        let d = decode_attrs(&b).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn unknown_well_known_is_error() {
+        let a = PathAttributes::ebgp(AsPath::sequence([Asn(1)]), NextHop(1));
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        put_attr(&mut b, flags::TRANSITIVE, 99, &[0]);
+        assert!(matches!(
+            decode_attrs(&b),
+            Err(WireError::UnrecognizedWellKnown(99))
+        ));
+    }
+
+    #[test]
+    fn long_as_path_uses_extended_length() {
+        // 300 ASes => body > 255 bytes => EXT_LEN path must round-trip.
+        let path = AsPath::sequence((0..300).map(Asn));
+        let a = PathAttributes::ebgp(path.clone(), NextHop(1));
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        let d = decode_attrs(&b).unwrap();
+        // Segment was chunked at 255 but total content is preserved.
+        assert_eq!(d.as_path.path_len(), 300);
+        let all: Vec<Asn> = d
+            .as_path
+            .segments
+            .iter()
+            .flat_map(|s| s.asns().iter().copied())
+            .collect();
+        assert_eq!(all, (0..300).map(Asn).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncated_attr_is_error() {
+        let a = sample_attrs();
+        let mut b = BytesMut::new();
+        encode_attrs(&a, &mut b);
+        let cut = &b[..b.len() - 1];
+        assert!(decode_attrs(cut).is_err());
+    }
+}

@@ -1,0 +1,544 @@
+//! The BGP session finite-state machine (RFC 4271 §8), transport- and
+//! clock-agnostic.
+//!
+//! The simulator models established sessions directly (§4's testbed
+//! semantics), but a credible BGP stack needs the real session layer:
+//! OPEN exchange, capability negotiation (4-octet AS, add-paths — the
+//! one capability ABRR *requires*, §1), hold-time negotiation,
+//! keepalives, and error notifications. [`SessionFsm`] implements the
+//! standard five-state machine over a byte stream:
+//!
+//! ```text
+//! Idle → (start/TCP up) → OpenSent → (OPEN ok) → OpenConfirm
+//!      → (KEEPALIVE) → Established → (NOTIFICATION/hold expiry) → Idle
+//! ```
+//!
+//! All timing is explicit: the caller passes `now` (µs) into every
+//! entry point and polls [`SessionFsm::tick`]; the FSM never reads a
+//! clock. All I/O is explicit too: incoming TCP bytes go into
+//! [`SessionFsm::on_bytes`]; outgoing messages come back as
+//! [`Action::Send`]. This makes the FSM equally usable under the
+//! deterministic simulator, a Tokio runtime, or a unit test that pumps
+//! two FSMs into each other.
+
+use crate::error::WireError;
+use crate::message::Message;
+use crate::open::{AddPathMode, OpenMessage};
+use crate::update::UpdateMessage;
+use crate::CodecConfig;
+use bytes::BytesMut;
+
+/// Session timing/identity configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Local AS number.
+    pub asn: u32,
+    /// Local BGP identifier.
+    pub bgp_id: u32,
+    /// Proposed hold time, seconds (0 disables keepalives; RFC minimum
+    /// otherwise is 3).
+    pub hold_time_secs: u16,
+    /// Add-paths mode to advertise, if any.
+    pub add_paths: Option<AddPathMode>,
+}
+
+impl SessionConfig {
+    /// A typical iBGP session configuration.
+    pub fn new(asn: u32, bgp_id: u32) -> Self {
+        SessionConfig {
+            asn,
+            bgp_id,
+            hold_time_secs: 90,
+            add_paths: Some(AddPathMode::Both),
+        }
+    }
+}
+
+/// The RFC 4271 §8 session states (Connect/Active are collapsed into
+/// the caller's transport: the FSM starts once the caller reports the
+/// TCP session up).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum State {
+    /// Not started.
+    Idle,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session fully up; UPDATEs flow.
+    Established,
+}
+
+/// Effects the caller must carry out.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Write this message to the transport.
+    Send(Message),
+    /// The session reached Established with this negotiated codec.
+    Up(CodecConfig),
+    /// Deliver a received UPDATE to the routing engine.
+    Deliver(UpdateMessage),
+    /// The session went down; the caller should drop routes learned
+    /// from this peer and may restart later.
+    Down(DownReason),
+}
+
+/// Why a session ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DownReason {
+    /// The peer sent a NOTIFICATION.
+    PeerNotification {
+        /// RFC 4271 §6 error code.
+        code: u8,
+        /// Subcode.
+        subcode: u8,
+    },
+    /// We detected a protocol error and sent a NOTIFICATION.
+    LocalError(String),
+    /// The negotiated hold time expired without a message.
+    HoldTimerExpired,
+}
+
+/// Negotiated session parameters, available once Established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Negotiated {
+    /// min(local, peer) hold time, seconds.
+    pub hold_time_secs: u16,
+    /// Whether add-paths is active in both directions.
+    pub add_paths: bool,
+    /// The peer's 4-octet AS.
+    pub peer_asn: u32,
+    /// The peer's BGP identifier.
+    pub peer_bgp_id: u32,
+}
+
+/// The session state machine. See module docs.
+pub struct SessionFsm {
+    cfg: SessionConfig,
+    state: State,
+    buf: BytesMut,
+    negotiated: Option<Negotiated>,
+    /// Absolute µs deadline after which the peer is declared dead.
+    hold_deadline: Option<u64>,
+    /// Absolute µs instant when we must send our next KEEPALIVE.
+    keepalive_due: Option<u64>,
+}
+
+impl SessionFsm {
+    /// Creates an idle FSM.
+    pub fn new(cfg: SessionConfig) -> Self {
+        SessionFsm {
+            cfg,
+            state: State::Idle,
+            buf: BytesMut::new(),
+            negotiated: None,
+            hold_deadline: None,
+            keepalive_due: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Negotiated parameters (once OPENs are exchanged).
+    pub fn negotiated(&self) -> Option<Negotiated> {
+        self.negotiated
+    }
+
+    /// The codec to use for UPDATE encode/decode on this session.
+    pub fn codec(&self) -> CodecConfig {
+        CodecConfig {
+            add_paths: self.negotiated.map(|n| n.add_paths).unwrap_or(false),
+        }
+    }
+
+    /// The transport is up; send our OPEN. Call once from Idle.
+    pub fn start(&mut self, now: u64) -> Vec<Action> {
+        assert_eq!(self.state, State::Idle, "start() from {:?}", self.state);
+        self.state = State::OpenSent;
+        // A large hold deadline guards the handshake itself (RFC
+        // suggests 4 minutes for the OpenSent hold timer).
+        self.hold_deadline = Some(now + 240 * 1_000_000);
+        let open = OpenMessage::new(
+            self.cfg.asn,
+            self.cfg.hold_time_secs,
+            self.cfg.bgp_id,
+            self.cfg.add_paths,
+        );
+        vec![Action::Send(Message::Open(open))]
+    }
+
+    fn fail(&mut self, code: u8, subcode: u8, what: &str) -> Vec<Action> {
+        self.state = State::Idle;
+        self.negotiated = None;
+        self.hold_deadline = None;
+        self.keepalive_due = None;
+        self.buf.clear();
+        vec![
+            Action::Send(Message::Notification {
+                code,
+                subcode,
+                data: Vec::new(),
+            }),
+            Action::Down(DownReason::LocalError(what.to_string())),
+        ]
+    }
+
+    /// Feeds received transport bytes; returns the resulting actions.
+    /// Malformed input tears the session down with a NOTIFICATION (the
+    /// error is also surfaced in the [`Action::Down`] reason).
+    pub fn on_bytes(&mut self, now: u64, bytes: &[u8]) -> Vec<Action> {
+        self.buf.extend_from_slice(bytes);
+        let mut actions = Vec::new();
+        loop {
+            // Header/UPDATE parsing depends on the negotiated codec.
+            let codec = self.codec();
+            match Message::decode(&mut self.buf, codec) {
+                Ok(None) => break,
+                Ok(Some(msg)) => {
+                    let mut acts = self.on_message(now, msg);
+                    let ended = acts.iter().any(|a| matches!(a, Action::Down(_)));
+                    actions.append(&mut acts);
+                    if ended {
+                        return actions;
+                    }
+                }
+                Err(e) => {
+                    // Message Header Error or UPDATE error (RFC §6.1/6.3).
+                    let code = match e {
+                        WireError::BadMarker
+                        | WireError::BadLength(_)
+                        | WireError::BadMessageType(_) => 1,
+                        WireError::UnsupportedVersion(_) => 2,
+                        _ => 3,
+                    };
+                    actions.extend(self.fail(code, 0, &format!("decode error: {e}")));
+                    return actions;
+                }
+            }
+        }
+        actions
+    }
+
+    fn on_message(&mut self, now: u64, msg: Message) -> Vec<Action> {
+        // Any valid message refreshes the peer-liveness deadline.
+        if let Some(n) = self.negotiated {
+            if n.hold_time_secs > 0 {
+                self.hold_deadline = Some(now + n.hold_time_secs as u64 * 1_000_000);
+            }
+        }
+        match (self.state, msg) {
+            (State::OpenSent, Message::Open(peer)) => {
+                if peer.version != 4 {
+                    return self.fail(2, 1, "unsupported version");
+                }
+                let hold = self.cfg.hold_time_secs.min(peer.hold_time);
+                if hold != 0 && hold < 3 {
+                    return self.fail(2, 6, "unacceptable hold time");
+                }
+                let add_paths = self.cfg.add_paths.is_some()
+                    && matches!(
+                        peer.add_paths_mode(),
+                        Some(AddPathMode::Both) | Some(AddPathMode::Send) | Some(AddPathMode::Receive)
+                    );
+                self.negotiated = Some(Negotiated {
+                    hold_time_secs: hold,
+                    add_paths,
+                    peer_asn: peer.asn(),
+                    peer_bgp_id: peer.bgp_id,
+                });
+                self.state = State::OpenConfirm;
+                if hold > 0 {
+                    self.hold_deadline = Some(now + hold as u64 * 1_000_000);
+                    self.keepalive_due = Some(now + hold as u64 * 1_000_000 / 3);
+                } else {
+                    self.hold_deadline = None;
+                    self.keepalive_due = None;
+                }
+                vec![Action::Send(Message::Keepalive)]
+            }
+            (State::OpenConfirm, Message::Keepalive) => {
+                self.state = State::Established;
+                vec![Action::Up(self.codec())]
+            }
+            (State::Established, Message::Keepalive) => Vec::new(),
+            (State::Established, Message::Update(u)) => vec![Action::Deliver(u)],
+            (_, Message::Notification { code, subcode, .. }) => {
+                self.state = State::Idle;
+                self.negotiated = None;
+                self.hold_deadline = None;
+                self.keepalive_due = None;
+                vec![Action::Down(DownReason::PeerNotification { code, subcode })]
+            }
+            (state, msg) => self.fail(
+                5,
+                0,
+                &format!("{:?} unexpected in {state:?}", msg.message_type()),
+            ),
+        }
+    }
+
+    /// Drives timers; call periodically (or at the deadline returned by
+    /// [`SessionFsm::next_deadline`]).
+    pub fn tick(&mut self, now: u64) -> Vec<Action> {
+        if let Some(dead) = self.hold_deadline {
+            if now >= dead {
+                self.state = State::Idle;
+                self.negotiated = None;
+                self.hold_deadline = None;
+                self.keepalive_due = None;
+                return vec![
+                    Action::Send(Message::Notification {
+                        code: 4, // Hold Timer Expired
+                        subcode: 0,
+                        data: Vec::new(),
+                    }),
+                    Action::Down(DownReason::HoldTimerExpired),
+                ];
+            }
+        }
+        if matches!(self.state, State::OpenConfirm | State::Established) {
+            if let (Some(due), Some(n)) = (self.keepalive_due, self.negotiated) {
+                if now >= due && n.hold_time_secs > 0 {
+                    self.keepalive_due = Some(now + n.hold_time_secs as u64 * 1_000_000 / 3);
+                    return vec![Action::Send(Message::Keepalive)];
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// The next instant `tick` needs to run, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match (self.hold_deadline, self.keepalive_due) {
+            (Some(h), Some(k)) => Some(h.min(k)),
+            (Some(h), None) => Some(h),
+            (None, Some(k)) => Some(k),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlri::Nlri;
+    use bgp_types::{AsPath, Asn, Ipv4Prefix, NextHop, PathAttributes, PathId};
+
+    /// Pumps actions between two FSMs (FIFO, correctly attributed)
+    /// until neither emits sends; returns the non-Send actions.
+    fn pump_tagged(
+        now: u64,
+        a: &mut SessionFsm,
+        b: &mut SessionFsm,
+        initial: Vec<(bool, Action)>,
+    ) -> Vec<Action> {
+        use std::collections::VecDeque;
+        let mut others = Vec::new();
+        let mut queue: VecDeque<(bool, Action)> = initial.into();
+        while let Some((from_a, act)) = queue.pop_front() {
+            match act {
+                Action::Send(msg) => {
+                    // Encode with the SENDER's codec, decode at the peer.
+                    let tx_codec = if from_a { a.codec() } else { b.codec() };
+                    let mut bytes = BytesMut::new();
+                    msg.encode(&mut bytes, tx_codec).unwrap();
+                    let target = if from_a { &mut *b } else { &mut *a };
+                    let acts = target.on_bytes(now, &bytes);
+                    queue.extend(acts.into_iter().map(|x| (!from_a, x)));
+                }
+                other => others.push(other),
+            }
+        }
+        others
+    }
+
+    /// Starts both sides and pumps the handshake to completion.
+    fn pump(now: u64, a: &mut SessionFsm, b: &mut SessionFsm) -> Vec<Action> {
+        let mut initial: Vec<(bool, Action)> =
+            a.start(now).into_iter().map(|x| (true, x)).collect();
+        initial.extend(b.start(now).into_iter().map(|x| (false, x)));
+        pump_tagged(now, a, b, initial)
+    }
+
+    fn pair() -> (SessionFsm, SessionFsm) {
+        (
+            SessionFsm::new(SessionConfig::new(65000, 1)),
+            SessionFsm::new(SessionConfig::new(65000, 2)),
+        )
+    }
+
+    #[test]
+    fn handshake_reaches_established_with_add_paths() {
+        let (mut a, mut b) = pair();
+        let final_acts = pump(0, &mut a, &mut b);
+        assert_eq!(a.state(), State::Established);
+        assert_eq!(b.state(), State::Established);
+        assert!(final_acts
+            .iter()
+            .any(|x| matches!(x, Action::Up(c) if c.add_paths)));
+        let n = a.negotiated().unwrap();
+        assert_eq!(n.peer_asn, 65000);
+        assert_eq!(n.peer_bgp_id, 2);
+        assert_eq!(n.hold_time_secs, 90);
+        assert!(n.add_paths);
+    }
+
+    #[test]
+    fn no_add_paths_if_one_side_lacks_it() {
+        let mut a = SessionFsm::new(SessionConfig {
+            add_paths: None,
+            ..SessionConfig::new(65000, 1)
+        });
+        let mut b = SessionFsm::new(SessionConfig::new(65000, 2));
+        pump(0, &mut a, &mut b);
+        assert_eq!(a.state(), State::Established);
+        assert!(!a.codec().add_paths);
+        assert!(!b.negotiated().unwrap().add_paths);
+    }
+
+    #[test]
+    fn hold_time_negotiated_to_minimum() {
+        let mut a = SessionFsm::new(SessionConfig {
+            hold_time_secs: 30,
+            ..SessionConfig::new(65000, 1)
+        });
+        let mut b = SessionFsm::new(SessionConfig::new(65000, 2)); // 90
+        pump(0, &mut a, &mut b);
+        assert_eq!(a.negotiated().unwrap().hold_time_secs, 30);
+        assert_eq!(b.negotiated().unwrap().hold_time_secs, 30);
+    }
+
+    #[test]
+    fn update_delivered_only_when_established() {
+        let (mut a, mut b) = pair();
+        pump(0, &mut a, &mut b);
+        // a sends an add-paths UPDATE to b.
+        let u = UpdateMessage::announce(
+            PathAttributes::ebgp(AsPath::sequence([Asn(7018)]), NextHop(9)),
+            vec![Nlri::with_path_id(
+                "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(),
+                PathId(3),
+            )],
+        );
+        let mut bytes = BytesMut::new();
+        Message::Update(u.clone())
+            .encode(&mut bytes, a.codec())
+            .unwrap();
+        let acts = b.on_bytes(1, &bytes);
+        assert_eq!(acts, vec![Action::Deliver(u)]);
+    }
+
+    #[test]
+    fn update_before_established_is_fsm_error() {
+        let (mut a, mut b) = pair();
+        let _ = a.start(0);
+        // b never started; feed it an UPDATE cold.
+        let u = UpdateMessage::withdraw(vec![Nlri::plain(
+            "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(),
+        )]);
+        let mut bytes = BytesMut::new();
+        Message::Update(u).encode(&mut bytes, CodecConfig::plain()).unwrap();
+        let acts = b.on_bytes(0, &bytes);
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, Action::Down(DownReason::LocalError(_)))));
+        assert!(acts.iter().any(
+            |x| matches!(x, Action::Send(Message::Notification { code: 5, .. }))
+        ));
+        assert_eq!(b.state(), State::Idle);
+    }
+
+    #[test]
+    fn keepalives_are_generated_and_hold_expires() {
+        let (mut a, mut b) = pair();
+        pump(0, &mut a, &mut b);
+        // Keepalive due at hold/3 = 30 s.
+        assert!(a.tick(29_000_000).is_empty());
+        let acts = a.tick(30_000_000);
+        assert_eq!(acts, vec![Action::Send(Message::Keepalive)]);
+        // Without feeding b anything, its hold timer (90 s) expires.
+        let acts = b.tick(90_000_001);
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, Action::Down(DownReason::HoldTimerExpired))));
+        assert_eq!(b.state(), State::Idle);
+    }
+
+    #[test]
+    fn peer_notification_takes_session_down() {
+        let (mut a, mut b) = pair();
+        pump(0, &mut a, &mut b);
+        let mut bytes = BytesMut::new();
+        Message::Notification {
+            code: 6,
+            subcode: 4,
+            data: vec![],
+        }
+        .encode(&mut bytes, CodecConfig::plain())
+        .unwrap();
+        let acts = a.on_bytes(5, &bytes);
+        assert_eq!(
+            acts,
+            vec![Action::Down(DownReason::PeerNotification {
+                code: 6,
+                subcode: 4
+            })]
+        );
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn garbage_bytes_tear_down_with_header_error() {
+        let (mut a, _) = pair();
+        let _ = a.start(0);
+        let acts = a.on_bytes(0, &[0u8; 19]);
+        assert!(acts.iter().any(
+            |x| matches!(x, Action::Send(Message::Notification { code: 1, .. }))
+        ));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn fragmented_stream_reassembles() {
+        let (mut a, mut b) = pair();
+        let acts_a = a.start(0);
+        let _ = b.start(0);
+        // Deliver a's OPEN to b one byte at a time.
+        let Action::Send(open) = &acts_a[0] else {
+            panic!()
+        };
+        let mut bytes = BytesMut::new();
+        open.encode(&mut bytes, CodecConfig::plain()).unwrap();
+        let mut replies = Vec::new();
+        for chunk in bytes.chunks(1) {
+            replies.extend(b.on_bytes(0, chunk));
+        }
+        // b replied with a KEEPALIVE (OPEN accepted) exactly once.
+        assert_eq!(
+            replies
+                .iter()
+                .filter(|x| matches!(x, Action::Send(Message::Keepalive)))
+                .count(),
+            1
+        );
+        assert_eq!(b.state(), State::OpenConfirm);
+    }
+
+    #[test]
+    fn zero_hold_time_disables_keepalives() {
+        let mk = || {
+            SessionFsm::new(SessionConfig {
+                hold_time_secs: 0,
+                ..SessionConfig::new(65000, 7)
+            })
+        };
+        let (mut a, mut b) = (mk(), mk());
+        pump(0, &mut a, &mut b);
+        assert_eq!(a.negotiated().unwrap().hold_time_secs, 0);
+        assert!(a.tick(1_000_000_000_000).is_empty());
+        assert_eq!(a.state(), State::Established);
+    }
+}

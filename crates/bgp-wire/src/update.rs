@@ -1,0 +1,225 @@
+//! UPDATE message (RFC 4271 §4.3), add-paths aware.
+
+use crate::attr;
+use crate::error::{need, WireError};
+use crate::nlri::Nlri;
+use crate::CodecConfig;
+use bgp_types::PathAttributes;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// A BGP UPDATE: withdrawn routes, attributes, and announced NLRI.
+///
+/// One UPDATE carries at most one attribute set; announcing routes with
+/// different attributes requires multiple UPDATEs. With add-paths, a
+/// single UPDATE can carry several paths *for the same prefix* only when
+/// they share attributes, so the engines emit one UPDATE per distinct
+/// attribute set — exactly how the §4.2 update counting works.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateMessage {
+    /// Withdrawn routes.
+    pub withdrawn: Vec<Nlri>,
+    /// Path attributes; required when `nlri` is non-empty.
+    pub attrs: Option<PathAttributes>,
+    /// Announced routes sharing `attrs`.
+    pub nlri: Vec<Nlri>,
+}
+
+impl UpdateMessage {
+    /// A pure withdrawal.
+    pub fn withdraw(withdrawn: Vec<Nlri>) -> Self {
+        UpdateMessage {
+            withdrawn,
+            attrs: None,
+            nlri: Vec::new(),
+        }
+    }
+
+    /// An announcement of `nlri` with shared `attrs`.
+    pub fn announce(attrs: PathAttributes, nlri: Vec<Nlri>) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            nlri,
+        }
+    }
+
+    /// Encodes the UPDATE body (after the common header).
+    pub fn encode_body(&self, out: &mut BytesMut, cfg: CodecConfig) -> Result<(), WireError> {
+        // Withdrawn routes block.
+        let mut w = BytesMut::new();
+        for n in &self.withdrawn {
+            n.encode(&mut w, cfg.add_paths);
+        }
+        if w.len() > u16::MAX as usize {
+            return Err(WireError::TooLong("withdrawn routes"));
+        }
+        out.put_u16(w.len() as u16);
+        out.put_slice(&w);
+        // Path attributes block.
+        let mut a = BytesMut::new();
+        if let Some(attrs) = &self.attrs {
+            attr::encode_attrs(attrs, &mut a);
+        } else if !self.nlri.is_empty() {
+            return Err(WireError::MalformedAttributes("NLRI without attributes"));
+        }
+        if a.len() > u16::MAX as usize {
+            return Err(WireError::TooLong("path attributes"));
+        }
+        out.put_u16(a.len() as u16);
+        out.put_slice(&a);
+        // NLRI block runs to end of message.
+        for n in &self.nlri {
+            n.encode(out, cfg.add_paths);
+        }
+        Ok(())
+    }
+
+    /// Decodes an UPDATE body.
+    pub fn decode_body(mut buf: &[u8], cfg: CodecConfig) -> Result<UpdateMessage, WireError> {
+        need("withdrawn length", buf.remaining(), 2)?;
+        let wlen = buf.get_u16() as usize;
+        need("withdrawn block", buf.remaining(), wlen)?;
+        let (wblock, rest) = buf.split_at(wlen);
+        buf = rest;
+        let withdrawn = Nlri::decode_all(wblock, cfg.add_paths)?;
+
+        need("attributes length", buf.remaining(), 2)?;
+        let alen = buf.get_u16() as usize;
+        need("attributes block", buf.remaining(), alen)?;
+        let (ablock, rest) = buf.split_at(alen);
+        buf = rest;
+
+        let nlri = Nlri::decode_all(buf, cfg.add_paths)?;
+        let attrs = if alen > 0 {
+            Some(attr::decode_attrs(ablock)?)
+        } else {
+            if !nlri.is_empty() {
+                return Err(WireError::MalformedAttributes("NLRI without attributes"));
+            }
+            None
+        };
+        Ok(UpdateMessage {
+            withdrawn,
+            attrs,
+            nlri,
+        })
+    }
+
+    /// Size of the encoded body in bytes (used for the paper's §4.2
+    /// transmission-bandwidth accounting).
+    pub fn encoded_body_len(&self, cfg: CodecConfig) -> usize {
+        let mut b = BytesMut::new();
+        self.encode_body(&mut b, cfg).expect("encodable update");
+        b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, Ipv4Prefix, NextHop, PathId};
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs() -> PathAttributes {
+        PathAttributes::ebgp(AsPath::sequence([Asn(1), Asn(2)]), NextHop(0x0A000001))
+    }
+
+    #[test]
+    fn roundtrip_announce_plain() {
+        let u = UpdateMessage::announce(attrs(), vec![Nlri::plain(pfx("10.0.0.0/8"))]);
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, CodecConfig::plain()).unwrap();
+        let d = UpdateMessage::decode_body(&b, CodecConfig::plain()).unwrap();
+        assert_eq!(d, u);
+    }
+
+    #[test]
+    fn roundtrip_announce_add_paths() {
+        let u = UpdateMessage::announce(
+            attrs(),
+            vec![
+                Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(1)),
+                Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(2)),
+            ],
+        );
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, CodecConfig::with_add_paths()).unwrap();
+        let d = UpdateMessage::decode_body(&b, CodecConfig::with_add_paths()).unwrap();
+        assert_eq!(d, u);
+    }
+
+    #[test]
+    fn roundtrip_withdraw() {
+        let u = UpdateMessage::withdraw(vec![Nlri::plain(pfx("10.0.0.0/8"))]);
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, CodecConfig::plain()).unwrap();
+        let d = UpdateMessage::decode_body(&b, CodecConfig::plain()).unwrap();
+        assert_eq!(d, u);
+        assert!(d.attrs.is_none());
+    }
+
+    #[test]
+    fn mixed_update() {
+        let u = UpdateMessage {
+            withdrawn: vec![Nlri::plain(pfx("9.0.0.0/8"))],
+            attrs: Some(attrs()),
+            nlri: vec![Nlri::plain(pfx("10.0.0.0/8")), Nlri::plain(pfx("11.0.0.0/8"))],
+        };
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, CodecConfig::plain()).unwrap();
+        let d = UpdateMessage::decode_body(&b, CodecConfig::plain()).unwrap();
+        assert_eq!(d, u);
+    }
+
+    #[test]
+    fn nlri_without_attrs_rejected() {
+        let u = UpdateMessage {
+            withdrawn: vec![],
+            attrs: None,
+            nlri: vec![Nlri::plain(pfx("10.0.0.0/8"))],
+        };
+        let mut b = BytesMut::new();
+        assert!(u.encode_body(&mut b, CodecConfig::plain()).is_err());
+    }
+
+    #[test]
+    fn codec_mismatch_garbles_but_errors_or_differs() {
+        // Encoding with add-paths and decoding plain must not silently
+        // produce the same message.
+        let u = UpdateMessage::announce(
+            attrs(),
+            vec![Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(1))],
+        );
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, CodecConfig::with_add_paths()).unwrap();
+        match UpdateMessage::decode_body(&b, CodecConfig::plain()) {
+            Ok(d) => assert_ne!(d, u),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn add_paths_update_is_longer() {
+        // The §4.2 bandwidth argument: an ABRR update carrying k paths is
+        // roughly k times longer in NLRI but shares one attribute block.
+        let one = UpdateMessage::announce(
+            attrs(),
+            vec![Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(1))],
+        );
+        let many = UpdateMessage::announce(
+            attrs(),
+            (1..=10)
+                .map(|i| Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(i)))
+                .collect(),
+        );
+        let cfg = CodecConfig::with_add_paths();
+        assert!(many.encoded_body_len(cfg) > one.encoded_body_len(cfg));
+        assert_eq!(
+            many.encoded_body_len(cfg) - one.encoded_body_len(cfg),
+            9 * (4 + 1 + 1) // 9 extra NLRI of (path-id + len + 1 prefix byte)
+        );
+    }
+}

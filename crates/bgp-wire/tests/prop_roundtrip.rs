@@ -1,0 +1,158 @@
+//! Property tests: every structured message round-trips through the
+//! wire codec byte-exactly.
+
+use bgp_types::{
+    AsPath, AsSegment, Asn, ClusterId, Community, ExtCommunity, Ipv4Prefix, LocalPref, Med,
+    NextHop, Origin, OriginatorId, PathAttributes, PathId,
+};
+use bgp_wire::{CodecConfig, Message, Nlri, UpdateMessage};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(a, l))
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(
+        (any::<bool>(), prop::collection::vec(1u32..1_000_000, 1..8)),
+        0..4,
+    )
+    .prop_map(|segs| AsPath {
+        segments: segs
+            .into_iter()
+            .map(|(is_set, asns)| {
+                let asns = asns.into_iter().map(Asn).collect();
+                if is_set {
+                    AsSegment::Set(asns)
+                } else {
+                    AsSegment::Sequence(asns)
+                }
+            })
+            .collect(),
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        0u8..3,
+        arb_as_path(),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec(any::<u32>(), 0..4),
+        prop::collection::vec(any::<[u8; 8]>(), 0..3),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(
+            |(origin, as_path, nh, med, lp, comms, ext, oid, clist)| PathAttributes {
+                origin: Origin::from_code(origin).unwrap(),
+                as_path,
+                next_hop: NextHop(nh),
+                med: med.map(Med),
+                local_pref: lp.map(LocalPref),
+                communities: comms.into_iter().map(Community).collect(),
+                ext_communities: ext.into_iter().map(ExtCommunity).collect(),
+                originator_id: oid.map(OriginatorId),
+                cluster_list: clist.into_iter().map(ClusterId).collect(),
+            },
+        )
+}
+
+fn arb_nlri(add_paths: bool) -> impl Strategy<Value = Nlri> {
+    (arb_prefix(), any::<u32>()).prop_map(move |(p, id)| {
+        if add_paths {
+            Nlri::with_path_id(p, PathId(id))
+        } else {
+            Nlri::plain(p)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn attrs_roundtrip(attrs in arb_attrs()) {
+        let mut b = BytesMut::new();
+        bgp_wire::attr::encode_attrs(&attrs, &mut b);
+        let d = bgp_wire::attr::decode_attrs(&b).unwrap();
+        prop_assert_eq!(d, attrs);
+    }
+
+    #[test]
+    fn update_roundtrip_plain(
+        attrs in arb_attrs(),
+        withdrawn in prop::collection::vec(arb_nlri(false), 0..10),
+        nlri in prop::collection::vec(arb_nlri(false), 0..10),
+    ) {
+        let u = UpdateMessage {
+            withdrawn,
+            attrs: Some(attrs),
+            nlri,
+        };
+        let cfg = CodecConfig::plain();
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, cfg).unwrap();
+        let d = UpdateMessage::decode_body(&b, cfg).unwrap();
+        prop_assert_eq!(d, u);
+    }
+
+    #[test]
+    fn update_roundtrip_add_paths(
+        attrs in arb_attrs(),
+        withdrawn in prop::collection::vec(arb_nlri(true), 0..10),
+        nlri in prop::collection::vec(arb_nlri(true), 0..10),
+    ) {
+        let u = UpdateMessage {
+            withdrawn,
+            attrs: Some(attrs),
+            nlri,
+        };
+        let cfg = CodecConfig::with_add_paths();
+        let mut b = BytesMut::new();
+        u.encode_body(&mut b, cfg).unwrap();
+        let d = UpdateMessage::decode_body(&b, cfg).unwrap();
+        prop_assert_eq!(d, u);
+    }
+
+    /// Framed messages decode from a concatenated stream in order, and a
+    /// truncated tail never produces a message or an error.
+    #[test]
+    fn framed_stream_roundtrip(
+        attrs in arb_attrs(),
+        nlri in prop::collection::vec(arb_nlri(false), 1..6),
+        cut in 1usize..19,
+    ) {
+        let cfg = CodecConfig::plain();
+        let msgs = vec![
+            Message::Keepalive,
+            Message::Update(UpdateMessage::announce(attrs, nlri)),
+            Message::Notification { code: 6, subcode: 0, data: vec![] },
+        ];
+        let mut b = BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut b, cfg).unwrap();
+        }
+        // Truncate the stream mid-final-message.
+        let keep = b.len() - cut.min(18);
+        let mut stream = BytesMut::from(&b[..keep]);
+        let mut decoded = Vec::new();
+        while let Some(m) = Message::decode(&mut stream, cfg).unwrap() {
+            decoded.push(m);
+        }
+        prop_assert_eq!(decoded.len(), 2);
+        prop_assert_eq!(&decoded[0], &msgs[0]);
+        prop_assert_eq!(&decoded[1], &msgs[1]);
+    }
+
+    /// decode never panics on arbitrary bytes.
+    #[test]
+    fn decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut b = BytesMut::from(&data[..]);
+        let _ = Message::decode(&mut b, CodecConfig::plain());
+        let mut b2 = BytesMut::from(&data[..]);
+        let _ = Message::decode(&mut b2, CodecConfig::with_add_paths());
+        let _ = UpdateMessage::decode_body(&data, CodecConfig::plain());
+        let _ = bgp_wire::attr::decode_attrs(&data);
+    }
+}

@@ -1,0 +1,210 @@
+//! iBGP messages and external (eBGP/operator) events.
+
+use bgp_rib::PathSet;
+use bgp_types::{ApId, Asn, Ipv4Prefix, PathAttributes};
+use bgp_wire::{CodecConfig, Nlri, UpdateMessage};
+use std::sync::Arc;
+
+/// Which iBGP plane a message belongs to. During the §2.4 transition a
+/// router runs both TBRR and ABRR concurrently — on real routers these
+/// are distinct BGP sessions, so the receiver always knows which plane
+/// an update arrived on. The tag models that session separation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Plane {
+    /// Full-mesh iBGP.
+    Mesh,
+    /// The ABRR session set (client↔ARR).
+    Abrr,
+    /// The TBRR session set (client↔TRR, TRR↔TRR).
+    Tbrr,
+}
+
+/// An iBGP update with *replace-set* semantics: `paths` is the complete
+/// set of routes the sender now advertises to the receiver for
+/// `prefix`; an empty set is a withdrawal.
+///
+/// This matches the paper's §3.4 contract ("should there be a change in
+/// the set of best AS-level routes, the ARRs will convey all such
+/// routes to the clients with each update") and the add-paths encoding:
+/// each element carries its own path id. Single-path sessions (TBRR,
+/// full-mesh) are the ≤1-element special case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BgpMsg {
+    /// Destination prefix the update is about.
+    pub prefix: Ipv4Prefix,
+    /// The complete new path set; empty = withdraw. Shared so that one
+    /// generated update fanned out to a whole peer group costs one
+    /// allocation, not one per member (paper §3.3: generating an update
+    /// is the expensive part, transmitting it is cheap — the code
+    /// should have the same cost profile).
+    pub paths: Arc<PathSet>,
+    /// The session plane this update travels on.
+    pub plane: Plane,
+}
+
+impl BgpMsg {
+    /// A withdrawal for `prefix` on `plane`.
+    pub fn withdraw(prefix: Ipv4Prefix, plane: Plane) -> Self {
+        BgpMsg {
+            prefix,
+            paths: Arc::new(Vec::new()),
+            plane,
+        }
+    }
+
+    /// Whether this is a withdrawal.
+    pub fn is_withdraw(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Size of this logical update on the wire, in bytes, for the
+    /// paper's §4.2 bandwidth accounting.
+    ///
+    /// Paths sharing an attribute object are coalesced into one UPDATE
+    /// (multiple add-paths NLRI); distinct attribute sets need separate
+    /// UPDATEs, as on a real wire. A withdrawal is a single UPDATE with
+    /// one withdrawn NLRI.
+    pub fn wire_bytes(&self, add_paths: bool) -> usize {
+        let cfg = if add_paths {
+            CodecConfig::with_add_paths()
+        } else {
+            CodecConfig::plain()
+        };
+        if self.paths.is_empty() {
+            let nlri = if add_paths {
+                Nlri::with_path_id(self.prefix, bgp_types::PathId(0))
+            } else {
+                Nlri::plain(self.prefix)
+            };
+            let u = UpdateMessage::withdraw(vec![nlri]);
+            return bgp_wire::HEADER_LEN + u.encoded_body_len(cfg);
+        }
+        // Group paths by identical attributes.
+        let mut groups: Vec<(&Arc<PathAttributes>, Vec<Nlri>)> = Vec::new();
+        for (id, attrs) in self.paths.iter() {
+            let nlri = if add_paths {
+                Nlri::with_path_id(self.prefix, *id)
+            } else {
+                Nlri::plain(self.prefix)
+            };
+            match groups.iter_mut().find(|(a, _)| *a == attrs) {
+                Some((_, v)) => v.push(nlri),
+                None => groups.push((attrs, vec![nlri])),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(attrs, nlri)| {
+                let u = UpdateMessage::announce((**attrs).clone(), nlri);
+                bgp_wire::HEADER_LEN + u.encoded_body_len(cfg)
+            })
+            .sum()
+    }
+}
+
+/// Events injected into a node from outside the simulated iBGP mesh.
+#[derive(Clone, Debug)]
+pub enum ExternalEvent {
+    /// An eBGP announcement arrived from `peer_as` at session address
+    /// `peer_addr`. The node applies next-hop-self before any iBGP
+    /// propagation. LOCAL_PREF in `attrs` models ingress policy
+    /// (customer > peer), applied at the border as the paper assumes
+    /// ("policies are deployed at clients", §2.1).
+    EbgpAnnounce {
+        /// Destination prefix.
+        prefix: Ipv4Prefix,
+        /// Neighbouring AS.
+        peer_as: Asn,
+        /// eBGP session address (unique per session).
+        peer_addr: u32,
+        /// Received attributes.
+        attrs: Arc<PathAttributes>,
+    },
+    /// The eBGP session `peer_addr` withdrew `prefix`.
+    EbgpWithdraw {
+        /// Destination prefix.
+        prefix: Ipv4Prefix,
+        /// eBGP session address.
+        peer_addr: u32,
+    },
+    /// Originate (or stop originating) `prefix` locally.
+    Local {
+        /// The prefix.
+        prefix: Ipv4Prefix,
+        /// True to originate, false to stop.
+        announce: bool,
+    },
+    /// Transition (§2.4): start accepting ABRR routes for this AP
+    /// (while still accepting TBRR routes for APs not yet cut over).
+    CutoverAp(ApId),
+    /// The iBGP session to `peer` bounced and has re-established: drop
+    /// everything learned from the peer, re-run decisions, and re-send
+    /// our Adj-RIB-Out toward it (BGP re-advertises the full table on
+    /// session establishment). Schedule at *both* endpoints — see
+    /// [`crate::spec::schedule_session_reset`].
+    SessionReset {
+        /// The peer whose session bounced.
+        peer: bgp_types::RouterId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, NextHop, PathId};
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(seed: u32) -> Arc<PathAttributes> {
+        Arc::new(PathAttributes::ebgp(
+            AsPath::sequence([Asn(seed)]),
+            NextHop(seed),
+        ))
+    }
+
+    #[test]
+    fn withdraw_roundtrip_flag() {
+        let m = BgpMsg::withdraw(pfx("10.0.0.0/8"), Plane::Abrr);
+        assert!(m.is_withdraw());
+        assert!(m.wire_bytes(true) >= bgp_wire::HEADER_LEN + 4);
+    }
+
+    #[test]
+    fn multi_path_update_is_longer_but_sublinear_when_attrs_shared() {
+        let shared = attrs(1);
+        let one = BgpMsg {
+            prefix: pfx("10.0.0.0/8"),
+            paths: Arc::new(vec![(PathId(1), shared.clone())]),
+            plane: Plane::Abrr,
+        };
+        let many_shared = BgpMsg {
+            prefix: pfx("10.0.0.0/8"),
+            paths: Arc::new((1..=10).map(|i| (PathId(i), shared.clone())).collect()),
+            plane: Plane::Abrr,
+        };
+        let many_distinct = BgpMsg {
+            prefix: pfx("10.0.0.0/8"),
+            paths: Arc::new((1..=10).map(|i| (PathId(i), attrs(i))).collect()),
+            plane: Plane::Abrr,
+        };
+        let b1 = one.wire_bytes(true);
+        let bs = many_shared.wire_bytes(true);
+        let bd = many_distinct.wire_bytes(true);
+        assert!(b1 < bs);
+        assert!(bs < bd, "shared attrs coalesce into one UPDATE");
+        // Distinct attrs: ten separate UPDATEs, each with its own header.
+        assert!(bd >= 10 * bgp_wire::HEADER_LEN);
+    }
+
+    #[test]
+    fn plain_vs_add_paths_bytes() {
+        let m = BgpMsg {
+            prefix: pfx("10.0.0.0/8"),
+            paths: Arc::new(vec![(PathId(1), attrs(1))]),
+            plane: Plane::Abrr,
+        };
+        assert_eq!(m.wire_bytes(true), m.wire_bytes(false) + 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! The §3.2/§3.4 extension: clients keeping backup routes from the
+//! ARR's best-AS-level sets get instant local repair when their primary
+//! exit dies — one of the multi-path dividends the paper argues ABRR
+//! buys over single-path TBRR ("multiple paths that may be exploited
+//! for traffic engineering and fast re-route").
+
+use abrr::prelude::*;
+use std::sync::Arc;
+
+fn pfx(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+fn feed(prefix: Ipv4Prefix, peer_as: u32, peer_addr: u32) -> ExternalEvent {
+    ExternalEvent::EbgpAnnounce {
+        prefix,
+        peer_as: Asn(peer_as),
+        peer_addr,
+        attrs: Arc::new(PathAttributes::ebgp(
+            AsPath::sequence([Asn(peer_as)]),
+            NextHop(peer_addr),
+        )),
+    }
+}
+
+/// 2 PoPs × 3 routers; two equal AS-level exits in different PoPs.
+fn net(keep_backups: bool) -> (Arc<NetworkSpec>, Sim<BgpNode>, Vec<RouterId>) {
+    let view = igp::PopTopologyBuilder::new(2, 3).build();
+    let routers = view.routers();
+    let mut spec = NetworkSpec::full_mesh(&view.topo, Asn(65000));
+    spec.mode = Mode::Abrr;
+    spec.ap_map = Some(ApMap::uniform(1));
+    spec.arrs.insert(ApId(0), vec![routers[0], routers[3]]);
+    spec.clients_keep_backups = keep_backups;
+    let spec = Arc::new(spec);
+    let sim = build_sim(spec.clone());
+    (spec, sim, routers)
+}
+
+#[test]
+fn backup_route_present_when_enabled() {
+    let (_spec, mut sim, routers) = net(true);
+    let p = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001)); // exit PoP0
+    sim.schedule_external(0, routers[4], feed(p, 7018, 9002)); // exit PoP1
+    assert!(sim.run_to_quiescence().quiesced);
+    // A non-exit client holds a primary and a distinct backup.
+    let observer = routers[5];
+    let primary = sim.node(observer).selected(&p).expect("primary").exit_router();
+    let backup = sim
+        .node(observer)
+        .backup_route(&p)
+        .expect("backup pre-installed");
+    assert_ne!(backup.exit_router(), primary);
+    // Hot potato: observer is in PoP1, so primary is the PoP1 exit and
+    // the backup is the remote one.
+    assert_eq!(primary, routers[4]);
+    assert_eq!(backup.exit_router(), routers[1]);
+}
+
+#[test]
+fn no_backup_without_the_option() {
+    let (_spec, mut sim, routers) = net(false);
+    let p = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+    sim.schedule_external(0, routers[4], feed(p, 7018, 9002));
+    assert!(sim.run_to_quiescence().quiesced);
+    // The reduced store holds only the best: no backup to fall back on
+    // locally (repair then needs the ARRs' next update).
+    assert!(sim.node(routers[5]).backup_route(&p).is_none());
+}
+
+#[test]
+fn backup_survives_primary_withdrawal_and_matches_reconvergence() {
+    let (_spec, mut sim, routers) = net(true);
+    let p = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+    sim.schedule_external(0, routers[4], feed(p, 7018, 9002));
+    assert!(sim.run_to_quiescence().quiesced);
+    let observer = routers[5];
+    let backup = sim.node(observer).backup_route(&p).unwrap().exit_router();
+    // Primary exit withdraws: the pre-installed backup is exactly what
+    // the network reconverges to.
+    sim.schedule_external(
+        sim.now() + 1,
+        routers[4],
+        ExternalEvent::EbgpWithdraw {
+            prefix: p,
+            peer_addr: 9002,
+        },
+    );
+    assert!(sim.run_to_quiescence().quiesced);
+    assert_eq!(
+        sim.node(observer).selected(&p).unwrap().exit_router(),
+        backup,
+        "post-reconvergence selection equals the pre-installed backup"
+    );
+}
+
+#[test]
+fn backups_do_not_change_selections() {
+    // Keeping backups is pure extra state: primary selections must be
+    // identical with and without it.
+    let run = |keep: bool| {
+        let (_s, mut sim, routers) = net(keep);
+        let p = pfx("10.0.0.0/8");
+        sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+        sim.schedule_external(0, routers[4], feed(p, 7018, 9002));
+        assert!(sim.run_to_quiescence().quiesced);
+        routers
+            .iter()
+            .map(|r| sim.node(*r).selected(&p).map(|s| s.exit_router()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn backup_rib_cost_is_bounded() {
+    // The extension stores at most one extra route per (ARR, prefix).
+    let count = |keep: bool| {
+        let (_s, mut sim, routers) = net(keep);
+        let p = pfx("10.0.0.0/8");
+        sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+        sim.schedule_external(0, routers[4], feed(p, 7018, 9002));
+        assert!(sim.run_to_quiescence().quiesced);
+        sim.node(routers[5]).client_in_entries()
+    };
+    let without = count(false);
+    let with = count(true);
+    assert!(with > without);
+    assert!(with <= 2 * without, "at most double: {with} vs {without}");
+}

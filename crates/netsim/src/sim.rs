@@ -1,0 +1,540 @@
+//! The event loop, sessions, timers, and per-node statistics.
+
+use bgp_types::RouterId;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Simulated time in microseconds.
+pub type Time = u64;
+
+/// A protocol state machine hosted on a simulator node.
+///
+/// Callbacks receive a [`Ctx`] through which the node sends messages and
+/// sets timers; effects are applied by the simulator after the callback
+/// returns, keeping the event loop single-owner and deterministic.
+pub trait Protocol {
+    /// Messages exchanged between nodes over sessions.
+    type Msg: Clone;
+    /// Events injected from outside the simulated AS (eBGP feeds,
+    /// configuration changes).
+    type External;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+    /// A message arrived from `from` on an established session.
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: RouterId, msg: Self::Msg);
+    /// An external event was injected into this node.
+    fn on_external(&mut self, ctx: &mut Ctx<Self::Msg>, ev: Self::External);
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _token: u64) {}
+}
+
+/// Side-effect collector handed to protocol callbacks.
+pub struct Ctx<M> {
+    now: Time,
+    node: RouterId,
+    actions: Vec<Action<M>>,
+}
+
+enum Action<M> {
+    Send { to: RouterId, msg: M },
+    SetTimer { at: Time, token: u64 },
+}
+
+impl<M> Ctx<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the node this callback runs on.
+    pub fn me(&self) -> RouterId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`. A session between the two nodes must exist
+    /// by delivery time; sends without a session are dropped and counted
+    /// in [`Sim::dropped_messages`].
+    pub fn send(&mut self, to: RouterId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedules `on_timer(token)` at absolute time `at` (clamped to be
+    /// at least now).
+    pub fn set_timer(&mut self, at: Time, token: u64) {
+        self.actions.push(Action::SetTimer { at, token });
+    }
+}
+
+enum Event<P: Protocol> {
+    Deliver {
+        from: RouterId,
+        to: RouterId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: RouterId,
+        token: u64,
+    },
+    External {
+        node: RouterId,
+        ev: P::External,
+    },
+}
+
+/// Per-node message counters.
+///
+/// `transmitted` counts messages put on the wire by the node;
+/// `received` counts messages delivered to it. "Generated" updates (the
+/// expensive RIB-Out recomputations, paper §4.2) are an engine-level
+/// concept counted by the protocol implementation itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Messages sent by this node.
+    pub transmitted: u64,
+    /// Messages delivered to this node.
+    pub received: u64,
+}
+
+/// Limits for a [`Sim::run`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Stop after this many events (oscillation guard).
+    pub max_events: u64,
+    /// Stop once simulated time exceeds this.
+    pub max_time: Time,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_events: 10_000_000,
+            max_time: Time::MAX,
+        }
+    }
+}
+
+/// The result of a [`Sim::run`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// True when the event queue drained — the network converged. False
+    /// means a limit was hit first; with sensible limits this is the
+    /// oscillation signal used by the correctness experiments.
+    pub quiesced: bool,
+    /// Events processed during this call.
+    pub events: u64,
+    /// Simulated time when the call returned.
+    pub end_time: Time,
+}
+
+/// The simulator: nodes, sessions, and the event heap.
+pub struct Sim<P: Protocol> {
+    nodes: BTreeMap<RouterId, P>,
+    sessions: BTreeMap<(RouterId, RouterId), Time>,
+    heap: BinaryHeap<Reverse<(Time, u64, u64)>>,
+    payloads: BTreeMap<u64, Event<P>>,
+    seq: u64,
+    now: Time,
+    stats: BTreeMap<RouterId, NodeStats>,
+    dropped: u64,
+    started: bool,
+}
+
+impl<P: Protocol> Default for Sim<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Creates an empty simulator at time 0.
+    pub fn new() -> Self {
+        Sim {
+            nodes: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            heap: BinaryHeap::new(),
+            payloads: BTreeMap::new(),
+            seq: 0,
+            now: 0,
+            stats: BTreeMap::new(),
+            dropped: 0,
+            started: false,
+        }
+    }
+
+    /// Adds a node. Panics on duplicate ids.
+    pub fn add_node(&mut self, id: RouterId, node: P) {
+        let prev = self.nodes.insert(id, node);
+        assert!(prev.is_none(), "duplicate node {id:?}");
+        self.stats.insert(id, NodeStats::default());
+    }
+
+    /// Establishes a bidirectional session with symmetric one-way
+    /// latency. Both endpoints must already exist.
+    pub fn add_session(&mut self, a: RouterId, b: RouterId, latency: Time) {
+        assert!(a != b, "self-session");
+        assert!(self.nodes.contains_key(&a), "unknown node {a:?}");
+        assert!(self.nodes.contains_key(&b), "unknown node {b:?}");
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.sessions.insert(key, latency);
+    }
+
+    /// Removes a session (session failure). In-flight messages on the
+    /// session are still delivered (they were already on the wire).
+    pub fn remove_session(&mut self, a: RouterId, b: RouterId) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.sessions.remove(&key);
+    }
+
+    /// Whether a session between `a` and `b` exists.
+    pub fn has_session(&self, a: RouterId, b: RouterId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.sessions.contains_key(&key)
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Injects an external event at absolute time `at`.
+    pub fn schedule_external(&mut self, at: Time, node: RouterId, ev: P::External) {
+        assert!(self.nodes.contains_key(&node), "unknown node {node:?}");
+        self.push(at.max(self.now), Event::External { node, ev });
+    }
+
+    fn push(&mut self, at: Time, ev: Event<P>) {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id, id)));
+        self.payloads.insert(id, ev);
+    }
+
+    /// Calls `on_start` on every node (once).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let ids: Vec<RouterId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            self.with_node(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs the event loop until quiescence or a limit.
+    pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
+        self.start();
+        let mut events = 0u64;
+        while let Some(&Reverse((at, _, id))) = self.heap.peek() {
+            if events >= limits.max_events || at > limits.max_time {
+                return RunOutcome {
+                    quiesced: false,
+                    events,
+                    end_time: self.now,
+                };
+            }
+            self.heap.pop();
+            let ev = self.payloads.remove(&id).expect("payload for event");
+            self.now = at;
+            events += 1;
+            match ev {
+                Event::Deliver { from, to, msg } => {
+                    if let Some(stats) = self.stats.get_mut(&to) {
+                        stats.received += 1;
+                    }
+                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                }
+                Event::Timer { node, token } => {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+                Event::External { node, ev } => {
+                    self.with_node(node, |n, ctx| n.on_external(ctx, ev));
+                }
+            }
+        }
+        RunOutcome {
+            quiesced: true,
+            events,
+            end_time: self.now,
+        }
+    }
+
+    /// Convenience: run with default limits.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run(RunLimits::default())
+    }
+
+    fn with_node(&mut self, id: RouterId, f: impl FnOnce(&mut P, &mut Ctx<P::Msg>)) {
+        let mut ctx = Ctx {
+            now: self.now,
+            node: id,
+            actions: Vec::new(),
+        };
+        // Temporarily remove the node so effects can be applied to self.
+        let Some(mut node) = self.nodes.remove(&id) else {
+            return;
+        };
+        f(&mut node, &mut ctx);
+        self.nodes.insert(id, node);
+        for action in ctx.actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if let Some(&lat) = self.session_latency(id, to) {
+                        if let Some(stats) = self.stats.get_mut(&id) {
+                            stats.transmitted += 1;
+                        }
+                        self.push(
+                            self.now + lat,
+                            Event::Deliver {
+                                from: id,
+                                to,
+                                msg,
+                            },
+                        );
+                    } else {
+                        self.dropped += 1;
+                    }
+                }
+                Action::SetTimer { at, token } => {
+                    self.push(at.max(self.now), Event::Timer { node: id, token });
+                }
+            }
+        }
+    }
+
+    fn session_latency(&self, a: RouterId, b: RouterId) -> Option<&Time> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.sessions.get(&key)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics for unknown ids; see [`Sim::contains_node`].
+    pub fn node(&self, id: RouterId) -> &P {
+        &self.nodes[&id]
+    }
+
+    /// Whether a node with this id exists.
+    pub fn contains_node(&self, id: RouterId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Mutable access to a node (configuration between runs).
+    pub fn node_mut(&mut self, id: RouterId) -> &mut P {
+        self.nodes.get_mut(&id).expect("unknown node")
+    }
+
+    /// Iterates `(id, node)`.
+    pub fn nodes(&self) -> impl Iterator<Item = (RouterId, &P)> {
+        self.nodes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Per-node counters.
+    pub fn stats(&self, id: RouterId) -> NodeStats {
+        self.stats.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Messages dropped for lack of a session.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that forwards every received number, decremented, to a
+    /// fixed peer until it reaches zero.
+    struct Countdown {
+        peer: RouterId,
+        log: Vec<u32>,
+    }
+
+    impl Protocol for Countdown {
+        type Msg = u32;
+        type External = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: RouterId, msg: u32) {
+            self.log.push(msg);
+            if msg > 0 {
+                ctx.send(self.peer, msg - 1);
+            }
+        }
+
+        fn on_external(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            ctx.send(self.peer, ev);
+        }
+    }
+
+    fn two_node_sim() -> Sim<Countdown> {
+        let mut sim = Sim::new();
+        sim.add_node(
+            RouterId(1),
+            Countdown {
+                peer: RouterId(2),
+                log: vec![],
+            },
+        );
+        sim.add_node(
+            RouterId(2),
+            Countdown {
+                peer: RouterId(1),
+                log: vec![],
+            },
+        );
+        sim.add_session(RouterId(1), RouterId(2), 10);
+        sim
+    }
+
+    #[test]
+    fn ping_pong_quiesces() {
+        let mut sim = two_node_sim();
+        sim.schedule_external(0, RouterId(1), 5);
+        let out = sim.run_to_quiescence();
+        assert!(out.quiesced);
+        // 5 -> r2, 4 -> r1, 3 -> r2, 2 -> r1, 1 -> r2, 0 -> r1: 6 deliveries + 1 external
+        assert_eq!(out.events, 7);
+        assert_eq!(sim.node(RouterId(2)).log, vec![5, 3, 1]);
+        assert_eq!(sim.node(RouterId(1)).log, vec![4, 2, 0]);
+        // Time: 6 hops * 10us latency.
+        assert_eq!(sim.now(), 60);
+        assert_eq!(sim.stats(RouterId(1)).transmitted, 3);
+        assert_eq!(sim.stats(RouterId(1)).received, 3);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = two_node_sim();
+            sim.schedule_external(0, RouterId(1), 9);
+            sim.schedule_external(3, RouterId(2), 4);
+            sim.run_to_quiescence();
+            (
+                sim.node(RouterId(1)).log.clone(),
+                sim.node(RouterId(2)).log.clone(),
+                sim.now(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_limit_reports_non_quiescence() {
+        // An infinite ping-pong: message never reaches zero.
+        struct Forever {
+            peer: RouterId,
+        }
+        impl Protocol for Forever {
+            type Msg = ();
+            type External = ();
+            fn on_message(&mut self, ctx: &mut Ctx<()>, _from: RouterId, _msg: ()) {
+                ctx.send(self.peer, ());
+            }
+            fn on_external(&mut self, ctx: &mut Ctx<()>, _ev: ()) {
+                ctx.send(self.peer, ());
+            }
+        }
+        let mut sim = Sim::new();
+        sim.add_node(RouterId(1), Forever { peer: RouterId(2) });
+        sim.add_node(RouterId(2), Forever { peer: RouterId(1) });
+        sim.add_session(RouterId(1), RouterId(2), 1);
+        sim.schedule_external(0, RouterId(1), ());
+        let out = sim.run(RunLimits {
+            max_events: 100,
+            max_time: Time::MAX,
+        });
+        assert!(!out.quiesced);
+        assert_eq!(out.events, 100);
+    }
+
+    #[test]
+    fn send_without_session_is_dropped() {
+        let mut sim = two_node_sim();
+        sim.remove_session(RouterId(1), RouterId(2));
+        sim.schedule_external(0, RouterId(1), 5);
+        let out = sim.run_to_quiescence();
+        assert!(out.quiesced);
+        assert_eq!(sim.dropped_messages(), 1);
+        assert!(sim.node(RouterId(2)).log.is_empty());
+    }
+
+    #[test]
+    fn per_session_fifo_ordering() {
+        struct Collector {
+            log: Vec<u32>,
+        }
+        impl Protocol for Collector {
+            type Msg = u32;
+            type External = Vec<u32>;
+            fn on_message(&mut self, _ctx: &mut Ctx<u32>, _from: RouterId, msg: u32) {
+                self.log.push(msg);
+            }
+            fn on_external(&mut self, ctx: &mut Ctx<u32>, batch: Vec<u32>) {
+                for m in batch {
+                    ctx.send(RouterId(2), m);
+                }
+            }
+        }
+        let mut sim = Sim::new();
+        sim.add_node(RouterId(1), Collector { log: vec![] });
+        sim.add_node(RouterId(2), Collector { log: vec![] });
+        sim.add_session(RouterId(1), RouterId(2), 50);
+        sim.schedule_external(0, RouterId(1), vec![1, 2, 3, 4]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(RouterId(2)).log, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerNode {
+            type Msg = ();
+            type External = ();
+            fn on_message(&mut self, _: &mut Ctx<()>, _: RouterId, _: ()) {}
+            fn on_external(&mut self, ctx: &mut Ctx<()>, _: ()) {
+                ctx.set_timer(30, 3);
+                ctx.set_timer(10, 1);
+                ctx.set_timer(20, 2);
+            }
+            fn on_timer(&mut self, _: &mut Ctx<()>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Sim::new();
+        sim.add_node(RouterId(1), TimerNode { fired: vec![] });
+        sim.schedule_external(0, RouterId(1), ());
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(RouterId(1)).fired, vec![1, 2, 3]);
+        assert_eq!(sim.now(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_node_panics() {
+        let mut sim: Sim<Countdown> = Sim::new();
+        sim.add_node(
+            RouterId(1),
+            Countdown {
+                peer: RouterId(2),
+                log: vec![],
+            },
+        );
+        sim.add_node(
+            RouterId(1),
+            Countdown {
+                peer: RouterId(2),
+                log: vec![],
+            },
+        );
+    }
+}

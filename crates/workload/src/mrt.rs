@@ -1,0 +1,240 @@
+//! A compact MRT-style binary trace format.
+//!
+//! The paper's testbed replays two weeks of MRT-format BGP updates
+//! through "route regenerators" (§4). This module defines the
+//! equivalent on-disk format for [`TraceRecord`]s: a magic+version
+//! header followed by length-prefixed records whose attribute blocks
+//! reuse the real BGP wire encoding from [`bgp_wire::attr`].
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! file   := magic "ABRT" | version u16 | count u64 | record*
+//! record := t_us u64 | router u32 | kind u8 | peer_addr u32
+//!           | peer_as u32 | plen u8 | paddr u32 | alen u16 | attrs
+//! kind   := 1 announce | 2 withdraw
+//! ```
+
+use crate::churn::{TraceEvent, TraceRecord};
+use bgp_types::{Asn, Ipv4Prefix, RouterId};
+use bgp_wire::WireError;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"ABRT";
+const VERSION: u16 = 1;
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum MrtError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Bad magic/version/record structure.
+    Format(String),
+    /// Attribute block failed to decode.
+    Wire(WireError),
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<WireError> for MrtError {
+    fn from(e: WireError) -> Self {
+        MrtError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "trace I/O error: {e}"),
+            MrtError::Format(s) => write!(f, "trace format error: {s}"),
+            MrtError::Wire(e) => write!(f, "trace attribute error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// Writes a trace to `out`.
+pub fn write_trace(out: &mut impl Write, records: &[TraceRecord]) -> Result<(), MrtError> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(records.len() as u64);
+    for r in records {
+        buf.put_u64(r.t_us);
+        buf.put_u32(r.router.0);
+        match &r.event {
+            TraceEvent::Announce {
+                prefix,
+                peer_as,
+                peer_addr,
+                attrs,
+            } => {
+                buf.put_u8(1);
+                buf.put_u32(*peer_addr);
+                buf.put_u32(peer_as.0);
+                buf.put_u8(prefix.len());
+                buf.put_u32(prefix.addr());
+                let mut ab = BytesMut::new();
+                bgp_wire::attr::encode_attrs(attrs, &mut ab);
+                buf.put_u16(ab.len() as u16);
+                buf.put_slice(&ab);
+            }
+            TraceEvent::Withdraw { prefix, peer_addr } => {
+                buf.put_u8(2);
+                buf.put_u32(*peer_addr);
+                buf.put_u32(0);
+                buf.put_u8(prefix.len());
+                buf.put_u32(prefix.addr());
+                buf.put_u16(0);
+            }
+        }
+    }
+    out.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a trace from `input`.
+pub fn read_trace(input: &mut impl Read) -> Result<Vec<TraceRecord>, MrtError> {
+    let mut raw = Vec::new();
+    input.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 14 {
+        return Err(MrtError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(MrtError::Format("bad magic".into()));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(MrtError::Format(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u64() as usize;
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        if buf.remaining() < 8 + 4 + 1 + 4 + 4 + 1 + 4 + 2 {
+            return Err(MrtError::Format(format!("truncated record {i}")));
+        }
+        let t_us = buf.get_u64();
+        let router = RouterId(buf.get_u32());
+        let kind = buf.get_u8();
+        let peer_addr = buf.get_u32();
+        let peer_as = buf.get_u32();
+        let plen = buf.get_u8();
+        if plen > 32 {
+            return Err(MrtError::Format(format!("bad prefix length {plen}")));
+        }
+        let paddr = buf.get_u32();
+        let prefix = Ipv4Prefix::new(paddr, plen);
+        let alen = buf.get_u16() as usize;
+        if buf.remaining() < alen {
+            return Err(MrtError::Format(format!("truncated attrs in record {i}")));
+        }
+        let (ablock, rest) = buf.split_at(alen);
+        buf = rest;
+        let event = match kind {
+            1 => TraceEvent::Announce {
+                prefix,
+                peer_as: Asn(peer_as),
+                peer_addr,
+                attrs: Arc::new(bgp_wire::attr::decode_attrs(ablock)?),
+            },
+            2 => TraceEvent::Withdraw { prefix, peer_addr },
+            k => return Err(MrtError::Format(format!("bad record kind {k}"))),
+        };
+        records.push(TraceRecord {
+            t_us,
+            router,
+            event,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{self, ChurnConfig};
+    use crate::tier1::{Tier1Config, Tier1Model};
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let m = Tier1Model::generate(Tier1Config {
+            n_prefixes: 100,
+            n_pops: 3,
+            routers_per_pop: 3,
+            ..Tier1Config::default()
+        });
+        let recs = churn::generate(&m, &ChurnConfig::default());
+        let mut file = Vec::new();
+        write_trace(&mut file, &recs).unwrap();
+        let back = read_trace(&mut &file[..]).unwrap();
+        assert_eq!(back.len(), recs.len());
+        for (a, b) in recs.iter().zip(&back) {
+            assert_eq!(a.t_us, b.t_us);
+            assert_eq!(a.router, b.router);
+            match (&a.event, &b.event) {
+                (
+                    TraceEvent::Announce {
+                        prefix: p1,
+                        attrs: a1,
+                        ..
+                    },
+                    TraceEvent::Announce {
+                        prefix: p2,
+                        attrs: a2,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(p1, p2);
+                    assert_eq!(a1, a2);
+                }
+                (TraceEvent::Withdraw { prefix: p1, .. }, TraceEvent::Withdraw { prefix: p2, .. }) => {
+                    assert_eq!(p1, p2)
+                }
+                _ => panic!("event kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut file = Vec::new();
+        write_trace(&mut file, &[]).unwrap();
+        file[0] = b'X';
+        assert!(matches!(
+            read_trace(&mut &file[..]),
+            Err(MrtError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = Tier1Model::generate(Tier1Config {
+            n_prefixes: 50,
+            n_pops: 3,
+            routers_per_pop: 3,
+            ..Tier1Config::default()
+        });
+        let recs = churn::initial_snapshot(&m);
+        let mut file = Vec::new();
+        write_trace(&mut file, &recs).unwrap();
+        let cut = &file[..file.len() - 5];
+        assert!(read_trace(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut file = Vec::new();
+        write_trace(&mut file, &[]).unwrap();
+        assert!(read_trace(&mut &file[..]).unwrap().is_empty());
+    }
+}
