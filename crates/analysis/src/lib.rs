@@ -362,7 +362,10 @@ mod tests {
             abrr(&q).rib_out
         };
         assert!(mk(100.0) < mk(50.0));
-        assert!((mk(50.0) / mk(100.0) - 2.0).abs() < 1e-9, "RIB-Out ~ 1/#APs");
+        assert!(
+            (mk(50.0) / mk(100.0) - 2.0).abs() < 1e-9,
+            "RIB-Out ~ 1/#APs"
+        );
     }
 
     #[test]
@@ -406,15 +409,10 @@ mod tests {
 
     #[test]
     fn sweep_produces_rows() {
-        let rows = sweep(
-            p(),
-            &[10.0, 20.0, 50.0],
-            Metric::RibOut,
-            |q, x| {
-                q.partitions = x;
-                q.rrs = 2.0 * x;
-            },
-        );
+        let rows = sweep(p(), &[10.0, 20.0, 50.0], Metric::RibOut, |q, x| {
+            q.partitions = x;
+            q.rrs = 2.0 * x;
+        });
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.abrr > 0.0 && r.tbrr > 0.0));
     }

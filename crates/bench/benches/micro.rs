@@ -2,9 +2,7 @@
 //! process, wire codec, SPF, and MRAI pacing.
 
 use bgp_rib::{best_as_level, best_path, Candidate, DecisionConfig};
-use bgp_types::{
-    AsPath, Asn, Ipv4Prefix, Med, NextHop, PathAttributes, PrefixTrie, RouteSource,
-};
+use bgp_types::{AsPath, Asn, Ipv4Prefix, Med, NextHop, PathAttributes, PrefixTrie, RouteSource};
 use bgp_wire::{CodecConfig, Message, Nlri, UpdateMessage};
 use bytes::BytesMut;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,7 +15,9 @@ fn prefixes(n: usize) -> Vec<Ipv4Prefix> {
     let mut x = 0x2545F491_4F6CDD1Du64;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Ipv4Prefix::new((x >> 32) as u32, 24)
         })
         .collect()

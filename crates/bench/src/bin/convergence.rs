@@ -22,12 +22,7 @@ use workload::specs::{self, SpecOptions};
 use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
 
 /// Mean probe-propagation latency (seconds) under background churn.
-fn probe_latency(
-    spec: Arc<NetworkSpec>,
-    model: &Tier1Model,
-    mrai_us: u64,
-    n_probes: usize,
-) -> f64 {
+fn probe_latency(spec: Arc<NetworkSpec>, model: &Tier1Model, mrai_us: u64, n_probes: usize) -> f64 {
     let mut sim = abrr::build_sim(spec);
     regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
     // Sample at a time budget: single-path TBRR may not quiesce.
@@ -109,9 +104,7 @@ fn main() {
     };
     header(
         "§3.5 — convergence: probe latency under churn, MRAI x iBGP hops",
-        &format!(
-            "MRAI={mrai_secs}s, {n_probes} probes, background churn randomizes MRAI phases"
-        ),
+        &format!("MRAI={mrai_secs}s, {n_probes} probes, background churn randomizes MRAI phases"),
     );
     let model = Tier1Model::generate(cfg);
 
@@ -139,7 +132,9 @@ fn main() {
 
     println!(
         "\n{:<8} {:>14} {:>16}",
-        "scheme", "MRAI=0 (s)", &format!("MRAI={mrai_secs}s (s)")
+        "scheme",
+        "MRAI=0 (s)",
+        &format!("MRAI={mrai_secs}s (s)")
     );
     println!("{:<8} {:>14.3} {:>16.2}", "ABRR", ab0, ab5);
     println!("{:<8} {:>14.3} {:>16.2}", "TBRR", tb0, tb5);

@@ -58,7 +58,10 @@ fn main() {
         "scheme", "RR gen/ev", "RR tx/ev", "RR bytes/ev", "client rx/ev", "client rx/node/ev"
     );
     for (name, spec) in [
-        ("ABRR", specs::abrr_spec(&model, model.view.pops.len(), 2, &opts)),
+        (
+            "ABRR",
+            specs::abrr_spec(&model, model.view.pops.len(), 2, &opts),
+        ),
         ("TBRR", specs::tbrr_spec(&model, 2, false, &opts)),
     ] {
         let rrs = if spec.mode.has_abrr() {

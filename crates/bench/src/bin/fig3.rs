@@ -29,7 +29,10 @@ fn main() {
     let xs: Vec<usize> = (0..=cfg.n_peer_ases).step_by(2).collect();
     let rows = model.fig3_curve(&xs, samples);
 
-    println!("{:>10} {:>16} {:>14}", "#PeerASes", "PeerASesOnly", "AllSources");
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "#PeerASes", "PeerASesOnly", "AllSources"
+    );
     for (x, peer_only, all) in &rows {
         println!("{x:>10} {peer_only:>16.2} {all:>14.2}");
     }

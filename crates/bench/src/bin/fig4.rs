@@ -67,9 +67,14 @@ fn main() {
     print_panel("(c) # ARRs/TRRs per AP/cluster", &rows);
 
     // (d) peer ASes → #BAL via the regression.
-    let rows = sweep(base, &[5.0, 10.0, 20.0, 30.0, 40.0], Metric::RibIn, |p, x| {
-        p.bal = f.eval(x);
-    });
+    let rows = sweep(
+        base,
+        &[5.0, 10.0, 20.0, 30.0, 40.0],
+        Metric::RibIn,
+        |p, x| {
+            p.bal = f.eval(x);
+        },
+    );
     print_panel("(d) # peer ASes", &rows);
 
     println!(

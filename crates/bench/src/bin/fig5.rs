@@ -44,7 +44,11 @@ fn main() {
         Metric::RibOut,
         |_, _| {},
     );
-    print_panel("(a) # routers (RIB sizes are independent of it)", &rows, None);
+    print_panel(
+        "(a) # routers (RIB sizes are independent of it)",
+        &rows,
+        None,
+    );
 
     let rows = sweep(
         base,
@@ -66,9 +70,14 @@ fn main() {
     });
     print_panel("(c) # ARRs/TRRs per AP/cluster", &rows, None);
 
-    let rows = sweep(base, &[5.0, 10.0, 20.0, 30.0, 40.0], Metric::RibOut, |p, x| {
-        p.bal = f.eval(x);
-    });
+    let rows = sweep(
+        base,
+        &[5.0, 10.0, 20.0, 30.0, 40.0],
+        Metric::RibOut,
+        |p, x| {
+            p.bal = f.eval(x);
+        },
+    );
     print_panel("(d) # peer ASes", &rows, None);
 
     println!("\nTakeaway check: ARR RIB-Out shrinks ~1/#APs (panel b) and stays ~an order of magnitude below TRR's.");

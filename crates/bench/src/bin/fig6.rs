@@ -46,7 +46,15 @@ fn main() {
     );
     println!(
         "\n{:<18} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10}",
-        "config", "in_min", "in_avg", "in_max", "in_theory", "out_min", "out_avg", "out_max", "out_theory"
+        "config",
+        "in_min",
+        "in_avg",
+        "in_max",
+        "in_theory",
+        "out_min",
+        "out_avg",
+        "out_max",
+        "out_theory"
     );
 
     let opts = SpecOptions {
@@ -122,6 +130,8 @@ fn main() {
             theory.rib_out,
         );
     }
-    println!("\n# Paper checks: ARR avg ≈ theory; TRR experimental < theory (uniformity assumptions);");
+    println!(
+        "\n# Paper checks: ARR avg ≈ theory; TRR experimental < theory (uniformity assumptions);"
+    );
     println!("# ARR RIBs ≪ TRR RIBs; uniform-AP min/max spread shrinks with --balanced.");
 }

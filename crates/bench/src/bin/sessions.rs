@@ -44,8 +44,12 @@ fn main() {
     let model = Tier1Model::generate(cfg);
     let n_routers = model.routers.len();
     let opts = SpecOptions::default();
-    println!("\n## simulator cross-check ({} routers, 13 PoPs)", n_routers);
-    for n_aps in [13usize] {
+    println!(
+        "\n## simulator cross-check ({} routers, 13 PoPs)",
+        n_routers
+    );
+    {
+        let n_aps = 13usize;
         let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
         let sim = abrr::build_sim(spec.clone());
         let arr = spec.all_arrs()[0];

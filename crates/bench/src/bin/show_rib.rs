@@ -95,7 +95,8 @@ fn show_prefix(
             backup
                 .map(|s| format!("{:?}", s.exit_router()))
                 .unwrap_or("-".into()),
-            sel.map(|s| format!("{}", s.attrs.as_path)).unwrap_or_default()
+            sel.map(|s| format!("{}", s.attrs.as_path))
+                .unwrap_or_default()
         );
         if verbose {
             for arr in spec.all_arrs() {
@@ -146,7 +147,10 @@ fn summary(sim: &Sim<BgpNode>, spec: &NetworkSpec, model: &Tier1Model) {
         let rib_in: usize = nodes.iter().map(|r| sim.node(*r).rib_in_size()).sum();
         let rib_out: usize = nodes.iter().map(|r| sim.node(*r).rib_out_size()).sum();
         let rx: u64 = nodes.iter().map(|r| sim.node(*r).counters().received).sum();
-        let gen: u64 = nodes.iter().map(|r| sim.node(*r).counters().generated).sum();
+        let gen: u64 = nodes
+            .iter()
+            .map(|r| sim.node(*r).counters().generated)
+            .sum();
         println!(
             "{label:<8} n={:<4} rib-in(avg)={:<8} rib-out(avg)={:<8} rx(avg)={:<8} gen(avg)={}",
             nodes.len(),

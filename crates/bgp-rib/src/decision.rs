@@ -182,14 +182,11 @@ pub fn best_as_level(cands: &[Candidate], cfg: &DecisionConfig) -> Vec<usize> {
 ///
 /// Step order (paper Table 2):
 /// 1. highest LOCAL_PREF, 2. shortest AS_PATH, 3. lowest ORIGIN,
-/// 4. lowest MED, 5. eBGP over iBGP, 6. lowest IGP metric to next hop,
-/// (6.5 RFC 4456: shorter CLUSTER_LIST, if configured), 7. lowest
-/// router id (ORIGINATOR_ID substitutes), 8. lowest peer address.
-pub fn best_path(
-    cands: &[Candidate],
-    cfg: &DecisionConfig,
-    igp: &impl IgpMetric,
-) -> Option<usize> {
+///    4. lowest MED, 5. eBGP over iBGP, 6. lowest IGP metric to next
+///    hop, (6.5 RFC 4456: shorter CLUSTER_LIST, if configured),
+///    7. lowest router id (ORIGINATOR_ID substitutes), 8. lowest peer
+///    address.
+pub fn best_path(cands: &[Candidate], cfg: &DecisionConfig, igp: &impl IgpMetric) -> Option<usize> {
     // Reachability filter precedes everything (RFC 4271 §9.1.2).
     let mut survivors: Vec<usize> = (0..cands.len())
         .filter(|&i| igp.metric(cands[i].attrs.next_hop).is_some())
@@ -227,9 +224,7 @@ pub fn best_path(
         .expect("non-empty");
     survivors.retain(|&i| cands[i].effective_router_id() == best_id);
     // Step 8: lowest peer address.
-    survivors
-        .into_iter()
-        .min_by_key(|&i| cands[i].peer_addr())
+    survivors.into_iter().min_by_key(|&i| cands[i].peer_addr())
 }
 
 #[cfg(test)]
@@ -272,7 +267,10 @@ mod tests {
         Arc::make_mut(&mut a.attrs).local_pref = Some(bgp_types::LocalPref(200));
         let b = ebgp(AsPath::empty(), 5, 2, 5); // shorter path but lp=100
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(0));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(0)
+        );
         assert_eq!(best_as_level(&cands, &DecisionConfig::default()), vec![0]);
     }
 
@@ -281,7 +279,10 @@ mod tests {
         let a = ebgp(AsPath::sequence([Asn(1), Asn(2)]), 1, 1, 1);
         let b = ebgp(AsPath::sequence([Asn(3)]), 2, 3, 2);
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
     }
 
     #[test]
@@ -291,7 +292,10 @@ mod tests {
         let mut b = ebgp(AsPath::sequence([Asn(2)]), 2, 2, 2);
         Arc::make_mut(&mut b.attrs).origin = Origin::Igp;
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
     }
 
     #[test]
@@ -346,7 +350,10 @@ mod tests {
         let b = ebgp(AsPath::sequence([Asn(2)]), 100, 2, 100);
         let cands = vec![a, b];
         // Despite a's far better IGP metric (1 vs 100), eBGP wins.
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
         // But both survive AS-level steps (step 5 is not AS-level).
         assert_eq!(best_as_level(&cands, &DecisionConfig::default()).len(), 2);
     }
@@ -356,7 +363,10 @@ mod tests {
         let a = ibgp(AsPath::sequence([Asn(1)]), 30, 1);
         let b = ibgp(AsPath::sequence([Asn(2)]), 20, 2);
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
     }
 
     #[test]
@@ -366,7 +376,10 @@ mod tests {
         // b's originator id (2) beats a's neighbor id (10).
         Arc::make_mut(&mut b.attrs).originator_id = Some(bgp_types::OriginatorId(2));
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
     }
 
     #[test]
@@ -379,13 +392,17 @@ mod tests {
         Arc::make_mut(&mut a.attrs).originator_id = Some(bgp_types::OriginatorId(1));
         Arc::make_mut(&mut b.attrs).originator_id = Some(bgp_types::OriginatorId(1));
         let cands = vec![a, b];
-        assert_eq!(best_path(&cands, &DecisionConfig::default(), &flat_igp), Some(1));
+        assert_eq!(
+            best_path(&cands, &DecisionConfig::default(), &flat_igp),
+            Some(1)
+        );
     }
 
     #[test]
     fn cluster_list_tiebreak() {
         let mut a = ibgp(AsPath::sequence([Asn(1)]), 5, 5);
-        Arc::make_mut(&mut a.attrs).cluster_list = vec![bgp_types::ClusterId(1), bgp_types::ClusterId(2)];
+        Arc::make_mut(&mut a.attrs).cluster_list =
+            vec![bgp_types::ClusterId(1), bgp_types::ClusterId(2)];
         Arc::make_mut(&mut a.attrs).originator_id = Some(bgp_types::OriginatorId(1));
         let mut b = ibgp(AsPath::sequence([Asn(2)]), 5, 9);
         Arc::make_mut(&mut b.attrs).cluster_list = vec![bgp_types::ClusterId(1)];

@@ -326,6 +326,27 @@ impl AdjRibOut {
             .into_iter()
             .flat_map(|g| g.table.iter())
     }
+
+    /// Drops every stored route while keeping the group definitions: a
+    /// router that crash-restarts loses its RIB contents but not its
+    /// configured peer groups.
+    pub fn clear_routes(&mut self) {
+        for g in self.groups.values_mut() {
+            g.table.clear();
+        }
+        self.entries = 0;
+    }
+
+    /// Replaces a group's members *and* forgets its stored routes, so
+    /// the next recomputation regenerates (and re-sends) the full table
+    /// instead of being suppressed by change detection. Used when group
+    /// membership changes at runtime (e.g. AP reassignment).
+    pub fn reset_group(&mut self, group: u32, members: Vec<RouterId>) {
+        let g = self.groups.entry(group).or_default();
+        self.entries -= g.table.values().map(|v| v.len()).sum::<usize>();
+        g.table.clear();
+        g.members = members;
+    }
 }
 
 #[cfg(test)]
@@ -458,5 +479,29 @@ mod tests {
         out.add_member(0, RouterId(2));
         assert_eq!(out.members(0), &[RouterId(1), RouterId(2)]);
         assert!(out.members(9).is_empty());
+    }
+
+    #[test]
+    fn rib_out_clear_and_reset() {
+        let mut out = AdjRibOut::new();
+        out.define_group(0, vec![RouterId(1)]);
+        out.define_group(1, vec![RouterId(2)]);
+        let p = pfx("10.0.0.0/8");
+        out.set_paths(0, p, vec![(PathId(1), attrs(1)), (PathId(2), attrs(2))]);
+        out.set_paths(1, p, vec![(PathId(1), attrs(1))]);
+        assert_eq!(out.num_entries(), 3);
+        // reset_group: routes forgotten, membership replaced, other
+        // groups untouched.
+        out.reset_group(1, vec![RouterId(3)]);
+        assert_eq!(out.num_entries(), 2);
+        assert_eq!(out.members(1), &[RouterId(3)]);
+        assert!(out.paths(1, &p).is_empty());
+        // Re-advertising the same set now counts as a generation again.
+        assert!(out.set_paths(1, p, vec![(PathId(1), attrs(1))]));
+        // clear_routes: all tables emptied, groups survive.
+        out.clear_routes();
+        assert_eq!(out.num_entries(), 0);
+        assert_eq!(out.members(0), &[RouterId(1)]);
+        assert!(out.set_paths(0, p, vec![(PathId(1), attrs(1))]));
     }
 }

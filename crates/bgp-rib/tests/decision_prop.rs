@@ -10,22 +10,20 @@ use std::sync::Arc;
 
 fn arb_candidate(index: u32) -> impl Strategy<Value = Candidate> {
     (
-        0u8..3,                                   // origin
-        prop::collection::vec(1u32..6, 0..4),     // as path (small AS space => ties)
-        1u32..6,                                  // next hop (small => IGP ties)
-        prop::option::of(0u32..4),                // med
+        0u8..3,                                                        // origin
+        prop::collection::vec(1u32..6, 0..4), // as path (small AS space => ties)
+        1u32..6,                              // next hop (small => IGP ties)
+        prop::option::of(0u32..4),            // med
         prop::option::of(prop::sample::select(vec![90u32, 100, 110])), // local pref
-        0u8..3,                                   // source kind
+        0u8..3,                               // source kind
     )
         .prop_map(move |(origin, asns, nh, med, lp, kind)| {
             // Session addresses are unique in reality; derive the id
             // from the candidate's position so ties can always be
             // broken by step 8 deterministically.
             let nid = 100 + index;
-            let mut attrs = PathAttributes::ebgp(
-                AsPath::sequence(asns.into_iter().map(Asn)),
-                NextHop(nh),
-            );
+            let mut attrs =
+                PathAttributes::ebgp(AsPath::sequence(asns.into_iter().map(Asn)), NextHop(nh));
             attrs.origin = Origin::from_code(origin).unwrap();
             attrs.med = med.map(Med);
             attrs.local_pref = lp.map(LocalPref);
@@ -50,11 +48,7 @@ fn arb_candidate(index: u32) -> impl Strategy<Value = Candidate> {
 }
 
 fn arb_candidates(max: usize) -> impl Strategy<Value = Vec<Candidate>> {
-    (1..max).prop_flat_map(|n| {
-        (0..n as u32)
-            .map(arb_candidate)
-            .collect::<Vec<_>>()
-    })
+    (1..max).prop_flat_map(|n| (0..n as u32).map(arb_candidate).collect::<Vec<_>>())
 }
 
 fn igp(nh: NextHop) -> Option<u32> {

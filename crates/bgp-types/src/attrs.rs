@@ -119,7 +119,13 @@ impl fmt::Debug for ExtCommunity {
             write!(
                 f,
                 "ext:{:02x}{:02x}:{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
-                self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5], self.0[6],
+                self.0[0],
+                self.0[1],
+                self.0[2],
+                self.0[3],
+                self.0[4],
+                self.0[5],
+                self.0[6],
                 self.0[7]
             )
         }
@@ -164,7 +170,10 @@ mod tests {
     fn abrr_reflected_marker() {
         assert!(ExtCommunity::ABRR_REFLECTED.is_abrr_reflected());
         assert!(!ExtCommunity([0; 8]).is_abrr_reflected());
-        assert_eq!(format!("{:?}", ExtCommunity::ABRR_REFLECTED), "abrr-reflected");
+        assert_eq!(
+            format!("{:?}", ExtCommunity::ABRR_REFLECTED),
+            "abrr-reflected"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub struct Ipv4Prefix {
     len: u8,
 }
 
+// `len` is the prefix length in bits, not a container size.
+#[allow(clippy::len_without_is_empty)]
 impl Ipv4Prefix {
     /// The default route `0.0.0.0/0`.
     pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { addr: 0, len: 0 };

@@ -138,7 +138,11 @@ impl fmt::Debug for PathAttributes {
             write!(f, " orig={}", oid.0)?;
         }
         if !self.cluster_list.is_empty() {
-            write!(f, " clist={:?}", self.cluster_list.iter().map(|c| c.0).collect::<Vec<_>>())?;
+            write!(
+                f,
+                " clist={:?}",
+                self.cluster_list.iter().map(|c| c.0).collect::<Vec<_>>()
+            )?;
         }
         if self.is_abrr_reflected() {
             write!(f, " reflected")?;

@@ -109,7 +109,11 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Returns the entry for `prefix`, inserting `default()` if absent.
-    pub fn get_or_insert_with(&mut self, prefix: Ipv4Prefix, default: impl FnOnce() -> T) -> &mut T {
+    pub fn get_or_insert_with(
+        &mut self,
+        prefix: Ipv4Prefix,
+        default: impl FnOnce() -> T,
+    ) -> &mut T {
         let mut node = &mut self.root;
         for i in 0..prefix.len() {
             let b = prefix.bit(i) as usize;
@@ -182,9 +186,8 @@ impl<T> PrefixTrie<T> {
         range_start: u32,
         range_end: u32,
     ) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
-        self.iter().filter(move |(p, _)| {
-            p.first_addr() <= range_end && p.last_addr() >= range_start
-        })
+        self.iter()
+            .filter(move |(p, _)| p.first_addr() <= range_end && p.last_addr() >= range_start)
     }
 
     /// Removes all entries.
@@ -208,7 +211,8 @@ impl<'a, T> Iterator for Iter<'a, T> {
             // Push children right-then-left so the left (0) branch pops first.
             if depth < 32 {
                 if let Some(c) = node.children[1].as_deref() {
-                    self.stack.push((c, addr | (0x8000_0000 >> depth), depth + 1));
+                    self.stack
+                        .push((c, addr | (0x8000_0000 >> depth), depth + 1));
                 }
                 if let Some(c) = node.children[0].as_deref() {
                     self.stack.push((c, addr, depth + 1));

@@ -143,7 +143,12 @@ pub fn encode_attrs(attrs: &PathAttributes, out: &mut BytesMut) {
         );
     }
     if let Some(OriginatorId(oid)) = attrs.originator_id {
-        put_attr(out, flags::OPTIONAL, code::ORIGINATOR_ID, &oid.to_be_bytes());
+        put_attr(
+            out,
+            flags::OPTIONAL,
+            code::ORIGINATOR_ID,
+            &oid.to_be_bytes(),
+        );
     }
     if !attrs.cluster_list.is_empty() {
         let mut body = Vec::with_capacity(attrs.cluster_list.len() * 4);
@@ -295,7 +300,10 @@ mod tests {
     use bgp_types::AsPath;
 
     fn sample_attrs() -> PathAttributes {
-        let mut a = PathAttributes::ebgp(AsPath::sequence([Asn(7018), Asn(3356)]), NextHop(0x0A000001));
+        let mut a = PathAttributes::ebgp(
+            AsPath::sequence([Asn(7018), Asn(3356)]),
+            NextHop(0x0A000001),
+        );
         a.med = Some(Med(50));
         a.local_pref = Some(LocalPref(200));
         a.communities = vec![Community::new(7018, 100)];

@@ -241,7 +241,9 @@ impl SessionFsm {
                 let add_paths = self.cfg.add_paths.is_some()
                     && matches!(
                         peer.add_paths_mode(),
-                        Some(AddPathMode::Both) | Some(AddPathMode::Send) | Some(AddPathMode::Receive)
+                        Some(AddPathMode::Both)
+                            | Some(AddPathMode::Send)
+                            | Some(AddPathMode::Receive)
                     );
                 self.negotiated = Some(Negotiated {
                     hold_time_secs: hold,
@@ -440,14 +442,16 @@ mod tests {
             "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(),
         )]);
         let mut bytes = BytesMut::new();
-        Message::Update(u).encode(&mut bytes, CodecConfig::plain()).unwrap();
+        Message::Update(u)
+            .encode(&mut bytes, CodecConfig::plain())
+            .unwrap();
         let acts = b.on_bytes(0, &bytes);
         assert!(acts
             .iter()
             .any(|x| matches!(x, Action::Down(DownReason::LocalError(_)))));
-        assert!(acts.iter().any(
-            |x| matches!(x, Action::Send(Message::Notification { code: 5, .. }))
-        ));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, Action::Send(Message::Notification { code: 5, .. }))));
         assert_eq!(b.state(), State::Idle);
     }
 
@@ -495,9 +499,9 @@ mod tests {
         let (mut a, _) = pair();
         let _ = a.start(0);
         let acts = a.on_bytes(0, &[0u8; 19]);
-        assert!(acts.iter().any(
-            |x| matches!(x, Action::Send(Message::Notification { code: 1, .. }))
-        ));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, Action::Send(Message::Notification { code: 1, .. }))));
         assert_eq!(a.state(), State::Idle);
     }
 

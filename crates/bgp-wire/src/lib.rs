@@ -27,7 +27,9 @@ pub mod open;
 pub mod update;
 
 pub use error::WireError;
-pub use fsm::{Action as FsmAction, DownReason, Negotiated, SessionConfig, SessionFsm, State as FsmState};
+pub use fsm::{
+    Action as FsmAction, DownReason, Negotiated, SessionConfig, SessionFsm, State as FsmState,
+};
 pub use message::{Message, MessageType, HEADER_LEN, MARKER, MAX_MESSAGE_LEN};
 pub use nlri::Nlri;
 pub use open::{AddPathMode, Capability, OpenMessage};

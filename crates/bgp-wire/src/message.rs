@@ -175,9 +175,13 @@ mod tests {
     #[test]
     fn keepalive_is_19_bytes() {
         let mut b = BytesMut::new();
-        Message::Keepalive.encode(&mut b, CodecConfig::plain()).unwrap();
+        Message::Keepalive
+            .encode(&mut b, CodecConfig::plain())
+            .unwrap();
         assert_eq!(b.len(), 19);
-        let d = Message::decode(&mut b, CodecConfig::plain()).unwrap().unwrap();
+        let d = Message::decode(&mut b, CodecConfig::plain())
+            .unwrap()
+            .unwrap();
         assert_eq!(d, Message::Keepalive);
     }
 

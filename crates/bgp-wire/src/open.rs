@@ -85,7 +85,9 @@ impl Capability {
     fn decode(code: u8, val: &[u8]) -> Result<Capability, WireError> {
         Ok(match code {
             1 if val == [0, 1, 0, 1] => Capability::MultiprotocolIpv4Unicast,
-            65 if val.len() == 4 => Capability::FourOctetAs(u32::from_be_bytes(val.try_into().unwrap())),
+            65 if val.len() == 4 => {
+                Capability::FourOctetAs(u32::from_be_bytes(val.try_into().unwrap()))
+            }
             69 if val.len() == 4 && val[..3] == [0, 1, 1] => {
                 let mode = AddPathMode::from_code(val[3])
                     .ok_or(WireError::MalformedAttributes("add-paths mode"))?;

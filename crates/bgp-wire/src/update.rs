@@ -146,7 +146,8 @@ mod tests {
             ],
         );
         let mut b = BytesMut::new();
-        u.encode_body(&mut b, CodecConfig::with_add_paths()).unwrap();
+        u.encode_body(&mut b, CodecConfig::with_add_paths())
+            .unwrap();
         let d = UpdateMessage::decode_body(&b, CodecConfig::with_add_paths()).unwrap();
         assert_eq!(d, u);
     }
@@ -166,7 +167,10 @@ mod tests {
         let u = UpdateMessage {
             withdrawn: vec![Nlri::plain(pfx("9.0.0.0/8"))],
             attrs: Some(attrs()),
-            nlri: vec![Nlri::plain(pfx("10.0.0.0/8")), Nlri::plain(pfx("11.0.0.0/8"))],
+            nlri: vec![
+                Nlri::plain(pfx("10.0.0.0/8")),
+                Nlri::plain(pfx("11.0.0.0/8")),
+            ],
         };
         let mut b = BytesMut::new();
         u.encode_body(&mut b, CodecConfig::plain()).unwrap();
@@ -194,7 +198,8 @@ mod tests {
             vec![Nlri::with_path_id(pfx("10.0.0.0/8"), PathId(1))],
         );
         let mut b = BytesMut::new();
-        u.encode_body(&mut b, CodecConfig::with_add_paths()).unwrap();
+        u.encode_body(&mut b, CodecConfig::with_add_paths())
+            .unwrap();
         match UpdateMessage::decode_body(&b, CodecConfig::plain()) {
             Ok(d) => assert_ne!(d, u),
             Err(_) => {}

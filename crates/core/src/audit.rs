@@ -182,7 +182,10 @@ pub fn compare_exits(
         for r in routers {
             report.compared += 1;
             let got = sim.node(*r).selected(prefix).map(|s| s.exit_router());
-            let expected = oracle_sim.node(*r).selected(prefix).map(|s| s.exit_router());
+            let expected = oracle_sim
+                .node(*r)
+                .selected(prefix)
+                .map(|s| s.exit_router());
             let equivalent = match (got, expected) {
                 (Some(g), Some(e)) => {
                     g == e || spec.oracle.distance(*r, g) == spec.oracle.distance(*r, e)
@@ -233,11 +236,13 @@ pub fn oscillation_suspects(sim: &Sim<BgpNode>, top: usize) -> Vec<OscillationSu
     }
     let mut v: Vec<OscillationSuspect> = per_prefix
         .into_iter()
-        .map(|(prefix, (total_changes, hottest_node, _))| OscillationSuspect {
-            prefix,
-            total_changes,
-            hottest_node,
-        })
+        .map(
+            |(prefix, (total_changes, hottest_node, _))| OscillationSuspect {
+                prefix,
+                total_changes,
+                hottest_node,
+            },
+        )
         .collect();
     v.sort_by_key(|s| std::cmp::Reverse(s.total_changes));
     v.truncate(top);
@@ -255,8 +260,14 @@ pub fn selections_equal(
 ) -> bool {
     routers.iter().all(|r| {
         prefixes.iter().all(|p| {
-            let sa = a.node(*r).selected(p).map(|s| (&s.attrs.as_path, s.exit_router()));
-            let sb = b.node(*r).selected(p).map(|s| (&s.attrs.as_path, s.exit_router()));
+            let sa = a
+                .node(*r)
+                .selected(p)
+                .map(|s| (&s.attrs.as_path, s.exit_router()));
+            let sb = b
+                .node(*r)
+                .selected(p)
+                .map(|s| (&s.attrs.as_path, s.exit_router()));
             sa == sb
         })
     })

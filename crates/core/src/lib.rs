@@ -74,11 +74,11 @@ pub mod prelude {
     pub use crate::audit;
     pub use crate::msg::{BgpMsg, ExternalEvent};
     pub use crate::node::{BgpNode, Selected};
-    pub use crate::spec::{build_sim, AbrrLoopPrevention, ClusterSpec, LatencyModel, Mode, NetworkSpec};
+    pub use crate::spec::{
+        build_sim, AbrrLoopPrevention, ClusterSpec, LatencyModel, Mode, NetworkSpec,
+    };
     pub use crate::UpdateCounters;
     pub use bgp_rib::{DecisionConfig, MedMode};
-    pub use bgp_types::{
-        ApId, ApMap, AsPath, Asn, Ipv4Prefix, NextHop, PathAttributes, RouterId,
-    };
+    pub use bgp_types::{ApId, ApMap, AsPath, Asn, Ipv4Prefix, NextHop, PathAttributes, RouterId};
     pub use netsim::{RunLimits, RunOutcome, Sim};
 }

@@ -137,6 +137,18 @@ pub enum ExternalEvent {
     /// Transition (§2.4): start accepting ABRR routes for this AP
     /// (while still accepting TBRR routes for APs not yet cut over).
     CutoverAp(ApId),
+    /// Operator/controller action (§2.2: the AP→ARR assignment "can be
+    /// changed when needed"): the ARRs responsible for `ap` become
+    /// `arrs`. Broadcast to every node at the same instant so the AS
+    /// switches consistently. The new ARRs should already hold ARR
+    /// sessions — ABRR wires every ARR to every node, so reassigning
+    /// among existing ARRs needs no new sessions.
+    ReassignAp {
+        /// The reassigned address partition.
+        ap: ApId,
+        /// Its new ARR set.
+        arrs: Vec<bgp_types::RouterId>,
+    },
     /// The iBGP session to `peer` bounced and has re-established: drop
     /// everything learned from the peer, re-run decisions, and re-send
     /// our Adj-RIB-Out toward it (BGP re-advertises the full table on

@@ -10,9 +10,7 @@
 use crate::counters::UpdateCounters;
 use crate::msg::{BgpMsg, ExternalEvent, Plane};
 use crate::spec::{AbrrLoopPrevention, Mode, NetworkSpec};
-use bgp_rib::{
-    best_as_level, best_path, AdjRibIn, AdjRibOut, Candidate, LocRib, PathSet,
-};
+use bgp_rib::{best_as_level, best_path, AdjRibIn, AdjRibOut, Candidate, LocRib, PathSet};
 use bgp_types::{
     ApId, Asn, ClusterId, Ipv4Prefix, NextHop, OriginatorId, PathAttributes, PathId, RouteSource,
     RouterId,
@@ -130,6 +128,10 @@ pub struct BgpNode {
     /// Per-prefix best-route change counts (oscillation diagnostics:
     /// a prefix whose selection keeps flipping is oscillating).
     selection_changes: BTreeMap<Ipv4Prefix, u64>,
+    /// Runtime AP→ARR reassignments (paper §2.2: the assignment "can be
+    /// changed when needed"). Overrides the spec's static assignment;
+    /// treated as configuration, so it survives a crash-restart.
+    arr_override: BTreeMap<ApId, Vec<RouterId>>,
 }
 
 impl BgpNode {
@@ -182,11 +184,8 @@ impl BgpNode {
                     }
                     if !trr_clusters.is_empty() {
                         out.define_group(group::TRR_TO_CLIENTS, spec.clients_of_trr(id));
-                        let peers: Vec<RouterId> = spec
-                            .all_trrs()
-                            .into_iter()
-                            .filter(|t| *t != id)
-                            .collect();
+                        let peers: Vec<RouterId> =
+                            spec.all_trrs().into_iter().filter(|t| *t != id).collect();
                         out.define_group(group::TRR_TO_PEERS, peers);
                     }
                 }
@@ -213,6 +212,7 @@ impl BgpNode {
             inbox: Vec::new(),
             counters: UpdateCounters::default(),
             selection_changes: BTreeMap::new(),
+            arr_override: BTreeMap::new(),
         }
     }
 
@@ -233,6 +233,14 @@ impl BgpNode {
     /// Whether this node is a TRR for any cluster.
     pub fn is_trr(&self) -> bool {
         !self.trr_clusters.is_empty()
+    }
+
+    /// Whether this node currently holds an eBGP or locally-originated
+    /// route for `prefix` — i.e. whether it can act as the AS's exit
+    /// for it (resilience auditors use this as ground-truth
+    /// reachability).
+    pub fn originates(&self, prefix: &Ipv4Prefix) -> bool {
+        self.local_prefixes.contains(prefix) || self.ebgp_in.contains_key(prefix)
     }
 
     /// Update accounting so far.
@@ -384,7 +392,7 @@ impl BgpNode {
                 if !self.spec.mode.has_abrr() {
                     return InputKind::Unexpected;
                 }
-                if self.spec.is_arr_for_prefix(from, prefix) {
+                if self.is_arr_for_prefix(from, prefix) {
                     return InputKind::Client;
                 }
                 if self.arr_aps.iter().any(|ap| self.ap_covers(*ap, prefix)) {
@@ -405,6 +413,25 @@ impl BgpNode {
                 InputKind::Unexpected
             }
         }
+    }
+
+    /// The ARRs currently responsible for `ap`: a runtime reassignment
+    /// overrides the spec's static assignment.
+    fn arrs_of(&self, ap: ApId) -> &[RouterId] {
+        self.arr_override
+            .get(&ap)
+            .map(|v| v.as_slice())
+            .unwrap_or_else(|| self.spec.arrs_of(ap))
+    }
+
+    /// Whether `r` is (currently) an ARR for an AP covering `prefix`.
+    fn is_arr_for_prefix(&self, r: RouterId, prefix: &Ipv4Prefix) -> bool {
+        if self.arr_override.is_empty() {
+            return self.spec.is_arr_for_prefix(r, prefix);
+        }
+        self.aps_for_prefix(prefix)
+            .iter()
+            .any(|ap| self.arrs_of(*ap).contains(&r))
     }
 
     fn ap_covers(&self, ap: ApId, prefix: &Ipv4Prefix) -> bool {
@@ -565,10 +592,7 @@ impl BgpNode {
             return;
         }
         let interval = self.spec.mrai_us;
-        let mrai = self
-            .mrai
-            .entry(peer)
-            .or_insert_with(|| Mrai::new(interval));
+        let mrai = self.mrai.entry(peer).or_insert_with(|| Mrai::new(interval));
         match mrai.offer(ctx.now(), (msg.plane, msg.prefix), msg) {
             MraiVerdict::SendNow(msg) => self.do_send(ctx, peer, msg),
             MraiVerdict::Deferred {
@@ -740,7 +764,12 @@ impl BgpNode {
     /// The client function's advertisement step (Table 1 rows
     /// "Client → ARR" / "Client → TRR" / full-mesh row): advertise the
     /// best route iff it is other-learned; withdraw otherwise.
-    fn client_advertise(&mut self, ctx: &mut Ctx<BgpMsg>, prefix: Ipv4Prefix, sel: Option<&Selected>) {
+    fn client_advertise(
+        &mut self,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        sel: Option<&Selected>,
+    ) {
         let adv: PathSet = match sel {
             Some(s) if s.source.is_other_learned() => {
                 vec![(PathId(self.id.0), self.prep_for_ibgp(s))]
@@ -783,7 +812,9 @@ impl BgpNode {
                     && self.trr_clusters.is_empty()
                     && !self.my_trrs.is_empty()
                 {
-                    self.advertise(ctx, group::CLIENT_TO_TRRS, prefix, Plane::Tbrr, adv, |_| false);
+                    self.advertise(ctx, group::CLIENT_TO_TRRS, prefix, Plane::Tbrr, adv, |_| {
+                        false
+                    });
                 }
             }
         }
@@ -801,9 +832,7 @@ impl BgpNode {
         // bit stops it at the first re-reflection; CLUSTER_LIST lets it
         // circulate once before the stamping ARR recognizes its own id.
         let looped = match self.spec.abrr_loop_prevention {
-            AbrrLoopPrevention::ReflectedBit => {
-                paths.iter().any(|(_, a)| a.is_abrr_reflected())
-            }
+            AbrrLoopPrevention::ReflectedBit => paths.iter().any(|(_, a)| a.is_abrr_reflected()),
             AbrrLoopPrevention::ClusterList => paths
                 .iter()
                 .any(|(_, a)| a.cluster_list.contains(&ClusterId(self.id.0))),
@@ -951,8 +980,22 @@ impl BgpNode {
                     (PathId(a.originator_id.expect("set").0), a)
                 })
                 .collect();
-            self.advertise(ctx, group::TRR_TO_CLIENTS, prefix, Plane::Tbrr, to_clients, |_| false);
-            self.advertise(ctx, group::TRR_TO_PEERS, prefix, Plane::Tbrr, to_peers, |_| false);
+            self.advertise(
+                ctx,
+                group::TRR_TO_CLIENTS,
+                prefix,
+                Plane::Tbrr,
+                to_clients,
+                |_| false,
+            );
+            self.advertise(
+                ctx,
+                group::TRR_TO_PEERS,
+                prefix,
+                Plane::Tbrr,
+                to_peers,
+                |_| false,
+            );
         } else {
             // Single-path TBRR: reflect the single best route. If it was
             // learned from a client (or eBGP/local), it goes to both
@@ -978,12 +1021,22 @@ impl BgpNode {
             // best route from (originator filtering inside advertise()
             // covers the common case; `sender` covers multi-hop
             // reflection where originator != sender).
-            self.advertise(ctx, group::TRR_TO_CLIENTS, prefix, Plane::Tbrr, to_clients, |m| {
-                Some(m) == sender
-            });
-            self.advertise(ctx, group::TRR_TO_PEERS, prefix, Plane::Tbrr, to_peers, |m| {
-                Some(m) == sender
-            });
+            self.advertise(
+                ctx,
+                group::TRR_TO_CLIENTS,
+                prefix,
+                Plane::Tbrr,
+                to_clients,
+                |m| Some(m) == sender,
+            );
+            self.advertise(
+                ctx,
+                group::TRR_TO_PEERS,
+                prefix,
+                Plane::Tbrr,
+                to_peers,
+                |m| Some(m) == sender,
+            );
         }
     }
 
@@ -1099,6 +1152,116 @@ impl BgpNode {
         }
         for msg in to_send {
             self.transmit(ctx, peer, msg);
+        }
+    }
+
+    /// RFC 4271 §6 session teardown: flush pacing state and queued input
+    /// from `peer`, drop everything learned from it (all roles), and
+    /// re-run decisions for the affected prefixes. Does NOT resync the
+    /// Adj-RIB-Out — that happens on re-establishment.
+    fn purge_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
+        self.mrai.remove(&peer);
+        self.inbox.retain(|(from, _)| *from != peer);
+        let mut arr_affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+        let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+        affected.extend(self.client_in.drop_peer(peer));
+        affected.extend(self.client_in_tbrr.drop_peer(peer));
+        affected.extend(self.trr_in.drop_peer(peer));
+        arr_affected.extend(self.arr_in.drop_peer(peer));
+        for p in &arr_affected {
+            self.arr_recompute(ctx, *p);
+        }
+        for p in arr_affected.into_iter().chain(affected) {
+            self.recompute(ctx, p);
+        }
+    }
+
+    /// Runtime AP reassignment (paper §2.2): the ARRs of `ap` become
+    /// `new_arrs`. Broadcast to every node at the same instant so the AS
+    /// switches consistently; the new ARRs must already hold ARR
+    /// sessions (ABRR wires every ARR to every node, so restricting
+    /// reassignment targets to existing ARRs needs no new sessions).
+    fn reassign_ap(&mut self, ctx: &mut Ctx<BgpMsg>, ap: ApId, new_arrs: Vec<RouterId>) {
+        if !self.spec.mode.has_abrr() {
+            return;
+        }
+        let old_arrs = self.arrs_of(ap).to_vec();
+        if old_arrs == new_arrs {
+            return;
+        }
+        self.arr_override.insert(ap, new_arrs.clone());
+        let was_arr = self.arr_aps.contains(&ap);
+        let is_now_arr = new_arrs.contains(&self.id);
+
+        // Client side: routes reflected by ARRs that lost the AP are no
+        // longer valid (their withdrawals would no longer classify), so
+        // drop them proactively; then point the client→ARR group at the
+        // new set, clearing stored state so the next recomputation
+        // re-feeds the new ARRs in full.
+        let mut todo: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+        for arr in old_arrs.iter().filter(|a| !new_arrs.contains(a)) {
+            for p in self.client_in.known_prefixes() {
+                if self.ap_covers(ap, &p)
+                    && !self.client_in.paths(*arr, &p).is_empty()
+                    && self.client_in.withdraw(*arr, p)
+                {
+                    todo.insert(p);
+                }
+            }
+        }
+        self.out
+            .reset_group(group::CLIENT_TO_ARRS + ap.0 as u32, new_arrs.clone());
+
+        // ARR side: a losing ARR withdraws everything it reflected for
+        // the AP and drops the role plus its managed routes; a gaining
+        // ARR takes the role and opens an (empty) client group that
+        // fills as clients re-advertise.
+        if was_arr && !is_now_arr {
+            let g = group::ARR_TO_CLIENTS + ap.0 as u32;
+            let prefixes: Vec<Ipv4Prefix> = self.out.iter_group(g).map(|(p, _)| *p).collect();
+            for p in prefixes {
+                self.advertise(ctx, g, p, Plane::Abrr, Vec::new(), |_| false);
+            }
+            self.out.reset_group(g, Vec::new());
+            self.arr_aps.retain(|a| *a != ap);
+            // Managed routes kept only while some remaining role covers
+            // them (a prefix can span APs).
+            let peers: Vec<RouterId> = self.arr_in.peers().collect();
+            for p in self.arr_in.known_prefixes() {
+                let still_served = self.arr_aps.iter().any(|a2| self.ap_covers(*a2, &p));
+                if self.ap_covers(ap, &p) && !still_served {
+                    for peer in &peers {
+                        self.arr_in.withdraw(*peer, p);
+                    }
+                }
+            }
+        }
+        if !was_arr && is_now_arr {
+            self.arr_aps.push(ap);
+            self.arr_aps.sort();
+            let members: Vec<RouterId> = self
+                .spec
+                .client_role_nodes()
+                .into_iter()
+                .filter(|n| *n != self.id && !new_arrs.contains(n))
+                .collect();
+            self.out
+                .reset_group(group::ARR_TO_CLIENTS + ap.0 as u32, members);
+        }
+
+        // Re-run every covered prefix: the client function re-feeds the
+        // (possibly new) ARRs, and a gaining ARR reflects its managed
+        // set as it arrives.
+        for p in self.known_prefixes() {
+            if self.ap_covers(ap, &p) {
+                todo.insert(p);
+            }
+        }
+        for p in todo {
+            if is_now_arr {
+                self.arr_recompute(ctx, p);
+            }
+            self.recompute(ctx, p);
         }
     }
 
@@ -1232,21 +1395,11 @@ impl Protocol for BgpNode {
                 }
             }
             ExternalEvent::SessionReset { peer } => {
-                self.mrai.remove(&peer);
-                self.inbox.retain(|(from, _)| *from != peer);
-                let mut arr_affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-                let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-                affected.extend(self.client_in.drop_peer(peer));
-                affected.extend(self.client_in_tbrr.drop_peer(peer));
-                affected.extend(self.trr_in.drop_peer(peer));
-                arr_affected.extend(self.arr_in.drop_peer(peer));
-                for p in &arr_affected {
-                    self.arr_recompute(ctx, *p);
-                }
-                for p in arr_affected.into_iter().chain(affected) {
-                    self.recompute(ctx, p);
-                }
+                self.purge_peer(ctx, peer);
                 self.resync_peer(ctx, peer);
+            }
+            ExternalEvent::ReassignAp { ap, arrs } => {
+                self.reassign_ap(ctx, ap, arrs);
             }
             ExternalEvent::CutoverAp(ap) => {
                 if self.accept_abrr.insert(ap) {
@@ -1258,6 +1411,40 @@ impl Protocol for BgpNode {
                     }
                 }
             }
+        }
+    }
+
+    fn on_session_down(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
+        self.purge_peer(ctx, peer);
+    }
+
+    fn on_session_up(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
+        // BGP re-advertises the full table on session establishment.
+        self.resync_peer(ctx, peer);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<BgpMsg>) {
+        // Crash-restart with RIB loss: configuration (roles, peer
+        // groups, locally-originated prefixes, AP reassignments)
+        // survives; everything learned at runtime is gone. Counters are
+        // cumulative device statistics and deliberately survive too.
+        self.ebgp_in.clear();
+        self.ebgp_sessions.clear();
+        self.own_ever = self.local_prefixes.clone();
+        self.client_in = AdjRibIn::new();
+        self.client_in_tbrr = AdjRibIn::new();
+        self.arr_in = AdjRibIn::new();
+        self.trr_in = AdjRibIn::new();
+        self.out.clear_routes();
+        self.loc_rib = LocRib::new();
+        self.mrai.clear();
+        self.inbox.clear();
+        self.selection_changes.clear();
+        // Re-originate configured prefixes; sends before the sessions
+        // come back are dropped by the simulator, but the Adj-RIB-Out
+        // fills so re-established sessions resync from it.
+        for p in self.local_prefixes.clone() {
+            self.recompute(ctx, p);
         }
     }
 

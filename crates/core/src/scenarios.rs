@@ -96,12 +96,7 @@ fn r(i: u32) -> RouterId {
     RouterId(i)
 }
 
-fn ebgp_feed(
-    prefix: Ipv4Prefix,
-    peer_as: u32,
-    peer_addr: u32,
-    med: u32,
-) -> ExternalEvent {
+fn ebgp_feed(prefix: Ipv4Prefix, peer_as: u32, peer_addr: u32, med: u32) -> ExternalEvent {
     ExternalEvent::EbgpAnnounce {
         prefix,
         peer_as: Asn(peer_as),
@@ -319,8 +314,12 @@ mod tests {
         assert!(o1.quiesced && o2.quiesced);
         for r in &s.routers {
             assert_eq!(
-                ab.node(*r).selected(&s.prefixes[0]).map(|x| x.exit_router()),
-                fm.node(*r).selected(&s.prefixes[0]).map(|x| x.exit_router()),
+                ab.node(*r)
+                    .selected(&s.prefixes[0])
+                    .map(|x| x.exit_router()),
+                fm.node(*r)
+                    .selected(&s.prefixes[0])
+                    .map(|x| x.exit_router()),
                 "router {r:?}"
             );
         }

@@ -432,12 +432,7 @@ pub fn build_sim(spec: Arc<NetworkSpec>) -> Sim<BgpNode> {
 /// Schedules a session bounce between `a` and `b` at time `t`: both
 /// endpoints drop the peer's routes and re-synchronize their
 /// Adj-RIB-Out, as real BGP speakers do when a session re-establishes.
-pub fn schedule_session_reset(
-    sim: &mut Sim<BgpNode>,
-    t: Time,
-    a: RouterId,
-    b: RouterId,
-) {
+pub fn schedule_session_reset(sim: &mut Sim<BgpNode>, t: Time, a: RouterId, b: RouterId) {
     sim.schedule_external(t, a, ExternalEvent::SessionReset { peer: b });
     sim.schedule_external(t, b, ExternalEvent::SessionReset { peer: a });
 }

@@ -73,7 +73,12 @@ fn arr_does_not_return_route_to_sender() {
         .client_paths_from(RouterId(1), &p)
         .is_empty());
     // Router 4 must have received it from ARR 1.
-    assert_eq!(sim.node(RouterId(4)).client_paths_from(RouterId(1), &p).len(), 1);
+    assert_eq!(
+        sim.node(RouterId(4))
+            .client_paths_from(RouterId(1), &p)
+            .len(),
+        1
+    );
     // And the delivered route carries the reflected marker + originator.
     let (_, attrs) = &sim.node(RouterId(4)).client_paths_from(RouterId(1), &p)[0];
     assert!(attrs.is_abrr_reflected());
@@ -112,7 +117,11 @@ fn withdraw_propagates_and_cleans_state() {
     );
     assert!(sim.run_to_quiescence().quiesced);
     for (_, node) in sim.nodes() {
-        assert!(node.selected(&p).is_none(), "stale route at {:?}", node.id());
+        assert!(
+            node.selected(&p).is_none(),
+            "stale route at {:?}",
+            node.id()
+        );
     }
     assert_eq!(sim.node(RouterId(1)).arr_in_entries(), 0);
     assert_eq!(sim.node(RouterId(1)).rib_out_size(), 0);
@@ -131,7 +140,9 @@ fn arr_advertises_all_best_as_level_routes() {
     assert_eq!(sim.node(RouterId(1)).arr_in_entries(), 2);
     // A third client stores its *reduced* best (paper §3.4): exactly one.
     assert_eq!(
-        sim.node(RouterId(2)).client_paths_from(RouterId(1), &p).len(),
+        sim.node(RouterId(2))
+            .client_paths_from(RouterId(1), &p)
+            .len(),
         1
     );
     // Hot potato: router 3 and 4 are in PoP 0 (with ARR 1); they keep
@@ -226,7 +237,12 @@ fn tbrr_multipath_advertises_set_to_clients() {
     // Client 4 received the reduced best from TRR1 out of a 2-route set;
     // TRR1's RIB-Out to clients holds both.
     assert!(sim.node(RouterId(1)).rib_out_size() >= 2);
-    assert_eq!(sim.node(RouterId(4)).client_paths_from(RouterId(1), &p).len(), 1);
+    assert_eq!(
+        sim.node(RouterId(4))
+            .client_paths_from(RouterId(1), &p)
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -300,7 +316,10 @@ fn tbrr_single_path_causes_path_inefficiency_abrr_does_not() {
     // The PoP1 non-exit client is steered to PoP0's exit by the RR.
     let victim = routers[5];
     let tbrr_exit = tbrr_sim.node(victim).selected(&p).unwrap().exit_router();
-    assert_eq!(tbrr_exit, routers[1], "RR's hot-potato choice wins under TBRR");
+    assert_eq!(
+        tbrr_exit, routers[1],
+        "RR's hot-potato choice wins under TBRR"
+    );
 
     // ABRR: ARRs anywhere (even both in PoP0 — placement freedom).
     let mut ab = NetworkSpec::full_mesh(&view.topo, Asn(65000));

@@ -25,7 +25,11 @@ fn random_net(seed: u64) -> RandomNet {
     let per_pop = rng.gen_range(2..=4);
     // Sometimes violate the intra<inter metric rule — ABRR must still
     // match full-mesh (placement/metric freedom, §2.3.3).
-    let (intra, inter) = if rng.gen_bool(0.5) { (1, 100) } else { (60, 10) };
+    let (intra, inter) = if rng.gen_bool(0.5) {
+        (1, 100)
+    } else {
+        (60, 10)
+    };
     let view = igp::PopTopologyBuilder::new(n_pops, per_pop)
         .intra_metric(intra)
         .inter_metric(inter)
@@ -146,9 +150,7 @@ fn abrr_matches_full_mesh_on_random_networks() {
                             "seed {seed}: router {r:?} prefix {p} path mismatch"
                         );
                     }
-                    (m, a) => panic!(
-                        "seed {seed}: router {r:?} prefix {p}: mesh={m:?} abrr={a:?}"
-                    ),
+                    (m, a) => panic!("seed {seed}: router {r:?} prefix {p}: mesh={m:?} abrr={a:?}"),
                 }
             }
         }
@@ -201,7 +203,11 @@ fn tbrr_multipath_converges_and_is_loop_free_on_engineered_metrics() {
             max_time: u64::MAX,
         });
         assert!(out.quiesced, "seed {seed}");
-        assert_eq!(audit::count_loops(&sim, &spec, &net.prefixes), 0, "seed {seed}");
+        assert_eq!(
+            audit::count_loops(&sim, &spec, &net.prefixes),
+            0,
+            "seed {seed}"
+        );
     }
 }
 

@@ -46,7 +46,11 @@ fn backup_route_present_when_enabled() {
     assert!(sim.run_to_quiescence().quiesced);
     // A non-exit client holds a primary and a distinct backup.
     let observer = routers[5];
-    let primary = sim.node(observer).selected(&p).expect("primary").exit_router();
+    let primary = sim
+        .node(observer)
+        .selected(&p)
+        .expect("primary")
+        .exit_router();
     let backup = sim
         .node(observer)
         .backup_route(&p)

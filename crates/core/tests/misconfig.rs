@@ -150,7 +150,10 @@ fn cluster_list_prevention_converges_and_fires() {
         max_events: 100_000,
         max_time: u64::MAX,
     });
-    assert!(out.quiesced, "cluster-list prevention must not loop forever");
+    assert!(
+        out.quiesced,
+        "cluster-list prevention must not loop forever"
+    );
     // The list is being stamped: node 3 received node 1's route via the
     // mistaken reflection at node 2, carrying node 2's cluster id.
     let via_2 = sim.node(RouterId(3)).arr_paths_from(RouterId(2), &p);

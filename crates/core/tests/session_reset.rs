@@ -35,7 +35,11 @@ fn abrr_net() -> (Arc<NetworkSpec>, Sim<BgpNode>) {
     (spec, sim)
 }
 
-fn snapshot(sim: &Sim<BgpNode>, routers: &[RouterId], prefixes: &[Ipv4Prefix]) -> Vec<Option<RouterId>> {
+fn snapshot(
+    sim: &Sim<BgpNode>,
+    routers: &[RouterId],
+    prefixes: &[Ipv4Prefix],
+) -> Vec<Option<RouterId>> {
     routers
         .iter()
         .flat_map(|r| {

@@ -1,0 +1,162 @@
+//! Compiles a [`FaultSchedule`] into concrete simulator events.
+//!
+//! Compilation happens *before* the run: every fault becomes a set of
+//! pre-scheduled `netsim` events (session teardown/re-establishment,
+//! node crash/restart, `ReassignAp` broadcasts), so a compiled run is
+//! exactly as deterministic as the simulator itself. Session latencies
+//! for re-establishment are snapshotted from the simulator at compile
+//! time — the restored session is the same link that went down.
+
+use crate::schedule::{FaultKind, FaultSchedule};
+use abrr::{BgpNode, ExternalEvent, NetworkSpec};
+use bgp_types::RouterId;
+use netsim::{Sim, Time};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a schedule could not be compiled onto a simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A fault names a router the simulator does not host.
+    UnknownNode(RouterId),
+    /// A session fault names a pair with no session in the pre-fault
+    /// session set.
+    UnknownSession(RouterId, RouterId),
+    /// An `ArrFailure` names a router that is not an ARR in the spec.
+    NotAnArr(RouterId),
+    /// An `ApReassign` names an AP the spec does not define.
+    UnknownAp(bgp_types::ApId),
+    /// An `ApReassign` target is not an existing ARR (reassignment is
+    /// restricted to routers that already hold ARR sessions).
+    ReassignTargetNotArr(RouterId),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownNode(r) => write!(f, "fault names unknown router {r:?}"),
+            CompileError::UnknownSession(a, b) => {
+                write!(f, "no session {a:?}–{b:?} in the pre-fault session set")
+            }
+            CompileError::NotAnArr(r) => write!(f, "{r:?} is not an ARR"),
+            CompileError::UnknownAp(ap) => write!(f, "spec defines no partition {ap:?}"),
+            CompileError::ReassignTargetNotArr(r) => {
+                write!(f, "reassignment target {r:?} is not an existing ARR")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn key(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Schedules every fault of `schedule` onto `sim`. Call after the
+/// simulator is built (sessions exist) and before the run; the fault
+/// events then interleave deterministically with workload events.
+///
+/// Fails without side effects being *observable*: validation runs per
+/// fault before that fault schedules anything, and faults are compiled
+/// in order, so an `Err` means the run must be rebuilt — but since
+/// compilation happens before `run`, no simulated state has advanced.
+pub fn compile(
+    schedule: &FaultSchedule,
+    spec: &NetworkSpec,
+    sim: &mut Sim<BgpNode>,
+) -> Result<(), CompileError> {
+    // Pre-fault session snapshot: re-established sessions reuse the
+    // latency of the link that went down.
+    let latencies: BTreeMap<(RouterId, RouterId), Time> = sim
+        .sessions()
+        .map(|((a, b), lat)| (key(a, b), lat))
+        .collect();
+    let known_nodes: std::collections::BTreeSet<RouterId> = sim.nodes().map(|(id, _)| id).collect();
+    let node_known = |r: RouterId| known_nodes.contains(&r);
+    let all_arrs = spec.all_arrs();
+
+    for fault in &schedule.faults {
+        let at = fault.at;
+        match &fault.kind {
+            FaultKind::SessionFlap { a, b, down_for } => {
+                let lat = *latencies
+                    .get(&key(*a, *b))
+                    .ok_or(CompileError::UnknownSession(*a, *b))?;
+                sim.schedule_session_down(at, *a, *b);
+                sim.schedule_session_up(at + down_for, *a, *b, lat);
+            }
+            FaultKind::LinkDown { a, b } => {
+                latencies
+                    .get(&key(*a, *b))
+                    .ok_or(CompileError::UnknownSession(*a, *b))?;
+                sim.schedule_session_down(at, *a, *b);
+            }
+            FaultKind::LinkUp { a, b } => {
+                let lat = *latencies
+                    .get(&key(*a, *b))
+                    .ok_or(CompileError::UnknownSession(*a, *b))?;
+                sim.schedule_session_up(at, *a, *b, lat);
+            }
+            FaultKind::RouterCrash { node, down_for } => {
+                if !node_known(*node) {
+                    return Err(CompileError::UnknownNode(*node));
+                }
+                sim.schedule_node_down(at, *node);
+                let up_at = at + down_for;
+                // Restart first (scheduled earlier ⇒ delivered earlier
+                // at equal times), then session re-establishment: the
+                // fresh node resyncs via `on_session_up` on both sides.
+                sim.schedule_node_up(up_at, *node);
+                for (&(a, b), &lat) in &latencies {
+                    if a == *node || b == *node {
+                        sim.schedule_session_up(up_at, a, b, lat);
+                    }
+                }
+            }
+            FaultKind::RouterDown { node } => {
+                if !node_known(*node) {
+                    return Err(CompileError::UnknownNode(*node));
+                }
+                sim.schedule_node_down(at, *node);
+            }
+            FaultKind::ArrFailure { arr } => {
+                if !node_known(*arr) {
+                    return Err(CompileError::UnknownNode(*arr));
+                }
+                if !all_arrs.contains(arr) {
+                    return Err(CompileError::NotAnArr(*arr));
+                }
+                sim.schedule_node_down(at, *arr);
+            }
+            FaultKind::ApReassign { ap, arrs } => {
+                if spec.arrs_of(*ap).is_empty() {
+                    return Err(CompileError::UnknownAp(*ap));
+                }
+                for r in arrs {
+                    if !all_arrs.contains(r) {
+                        return Err(CompileError::ReassignTargetNotArr(*r));
+                    }
+                }
+                // Broadcast to every node at the same instant so the
+                // whole AS switches consistently (same-time externals
+                // deliver in scheduling order — deterministic).
+                for node in spec.all_nodes() {
+                    sim.schedule_external(
+                        at,
+                        node,
+                        ExternalEvent::ReassignAp {
+                            ap: *ap,
+                            arrs: arrs.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

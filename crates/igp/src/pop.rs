@@ -164,9 +164,7 @@ mod tests {
             .inter_metric(1)
             .build();
         let oracle = IgpOracle::compute(&v.topo);
-        let d_intra = oracle
-            .distance(v.pops[0][0], v.pops[0][1])
-            .unwrap();
+        let d_intra = oracle.distance(v.pops[0][0], v.pops[0][1]).unwrap();
         let d_inter = oracle.distance(v.pops[0][0], v.pops[1][0]).unwrap();
         assert!(d_inter < d_intra, "gadget topologies invert the rule");
     }
@@ -187,10 +185,7 @@ mod tests {
         assert_eq!(v.topo.num_links(), 5);
         let oracle = IgpOracle::compute(&v.topo);
         // chord shortens 0 -> 2 to one hop.
-        assert_eq!(
-            oracle.distance(v.pops[0][0], v.pops[2][0]),
-            Some(100)
-        );
+        assert_eq!(oracle.distance(v.pops[0][0], v.pops[2][0]), Some(100));
     }
 
     #[test]

@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn igp_path_walk() {
         let oracle = IgpOracle::compute(&square());
-        assert_eq!(
-            oracle.igp_path(r(1), r(4)),
-            Some(vec![r(1), r(3), r(4)])
-        );
+        assert_eq!(oracle.igp_path(r(1), r(4)), Some(vec![r(1), r(3), r(4)]));
         assert_eq!(oracle.igp_path(r(1), r(1)), Some(vec![r(1)]));
     }
 

@@ -11,10 +11,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
     (2usize..10).prop_flat_map(|n| {
         // A spanning chain guarantees connectivity; extra random edges on top.
         let chain_metrics = prop::collection::vec(1u32..20, n - 1);
-        let extras = prop::collection::vec(
-            ((0..n), (0..n), 1u32..20),
-            0..(n * 2),
-        );
+        let extras = prop::collection::vec(((0..n), (0..n), 1u32..20), 0..(n * 2));
         (chain_metrics, extras).prop_map(move |(chain, extras)| {
             let mut t = Topology::new();
             for i in 0..n {

@@ -22,4 +22,4 @@ pub mod mrai;
 pub mod sim;
 
 pub use mrai::{Mrai, MraiVerdict};
-pub use sim::{NodeStats, Protocol, Ctx, RunLimits, RunOutcome, Sim, Time};
+pub use sim::{Ctx, NodeStats, Protocol, RunLimits, RunOutcome, Sim, Time};

@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(m.offer(0, 1, "first"), MraiVerdict::SendNow("first"));
         m.offer(10, 2, "blocked");
         // Interval conceptually over for... no: ready_at=100, still blocked.
-        assert!(matches!(m.offer(50, 3, "later"), MraiVerdict::Deferred { .. }));
+        assert!(matches!(
+            m.offer(50, 3, "later"),
+            MraiVerdict::Deferred { .. }
+        ));
         assert_eq!(m.flush(100).len(), 2);
     }
 }

@@ -2,7 +2,7 @@
 
 use bgp_types::RouterId;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Simulated time in microseconds.
 pub type Time = u64;
@@ -27,6 +27,19 @@ pub trait Protocol {
     fn on_external(&mut self, ctx: &mut Ctx<Self::Msg>, ev: Self::External);
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _token: u64) {}
+    /// The session to `peer` went down (scheduled failure or the peer
+    /// crashed). Fired exactly once per surviving endpoint, after
+    /// in-flight messages on the session have been discarded.
+    fn on_session_down(&mut self, _ctx: &mut Ctx<Self::Msg>, _peer: RouterId) {}
+    /// A session to `peer` (re-)established via
+    /// [`Sim::schedule_session_up`]. Fired once per endpoint.
+    fn on_session_up(&mut self, _ctx: &mut Ctx<Self::Msg>, _peer: RouterId) {}
+    /// This node restarted after a crash. All soft state (RIBs learned
+    /// over sessions, timers) was lost with the crash; the protocol
+    /// must reset itself here. Sessions are *not* restored
+    /// automatically — re-establishment arrives later as
+    /// `on_session_up` callbacks.
+    fn on_restart(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
 }
 
 /// Side-effect collector handed to protocol callbacks.
@@ -79,6 +92,21 @@ enum Event<P: Protocol> {
     External {
         node: RouterId,
         ev: P::External,
+    },
+    SessionDown {
+        a: RouterId,
+        b: RouterId,
+    },
+    SessionUp {
+        a: RouterId,
+        b: RouterId,
+        latency: Time,
+    },
+    NodeDown {
+        node: RouterId,
+    },
+    NodeUp {
+        node: RouterId,
     },
 }
 
@@ -138,6 +166,7 @@ pub struct Sim<P: Protocol> {
     stats: BTreeMap<RouterId, NodeStats>,
     dropped: u64,
     started: bool,
+    down: BTreeSet<RouterId>,
 }
 
 impl<P: Protocol> Default for Sim<P> {
@@ -159,6 +188,7 @@ impl<P: Protocol> Sim<P> {
             stats: BTreeMap::new(),
             dropped: 0,
             started: false,
+            down: BTreeSet::new(),
         }
     }
 
@@ -180,10 +210,58 @@ impl<P: Protocol> Sim<P> {
     }
 
     /// Removes a session (session failure). In-flight messages on the
-    /// session are still delivered (they were already on the wire).
+    /// session are discarded — TCP delivers nothing across a torn-down
+    /// connection — and counted in [`Sim::dropped_messages`]. Protocol
+    /// hooks do **not** fire; use [`Sim::schedule_session_down`] for a
+    /// failure the endpoints react to.
     pub fn remove_session(&mut self, a: RouterId, b: RouterId) {
         let key = if a < b { (a, b) } else { (b, a) };
-        self.sessions.remove(&key);
+        if self.sessions.remove(&key).is_some() {
+            self.drop_in_flight(a, b);
+        }
+    }
+
+    /// Discards queued `Deliver` events between `a` and `b` (either
+    /// direction), counting them as dropped.
+    fn drop_in_flight(&mut self, a: RouterId, b: RouterId) {
+        let doomed: Vec<u64> = self
+            .payloads
+            .iter()
+            .filter_map(|(&id, ev)| match ev {
+                Event::Deliver { from, to, .. }
+                    if (*from == a && *to == b) || (*from == b && *to == a) =>
+                {
+                    Some(id)
+                }
+                _ => None,
+            })
+            .collect();
+        self.dropped += doomed.len() as u64;
+        for id in doomed {
+            self.payloads.remove(&id);
+        }
+    }
+
+    /// Discards queued events involving `node`: deliveries to or from
+    /// it (in-flight on the wire) and its timers (state lost in the
+    /// crash). External events survive — the outside feed does not die
+    /// with the router.
+    fn drop_node_events(&mut self, node: RouterId) {
+        let doomed: Vec<(u64, bool)> = self
+            .payloads
+            .iter()
+            .filter_map(|(&id, ev)| match ev {
+                Event::Deliver { from, to, .. } if *from == node || *to == node => Some((id, true)),
+                Event::Timer { node: n, .. } if *n == node => Some((id, false)),
+                _ => None,
+            })
+            .collect();
+        for (id, is_msg) in doomed {
+            self.payloads.remove(&id);
+            if is_msg {
+                self.dropped += 1;
+            }
+        }
     }
 
     /// Whether a session between `a` and `b` exists.
@@ -197,10 +275,56 @@ impl<P: Protocol> Sim<P> {
         self.sessions.len()
     }
 
+    /// Iterates `((a, b), latency)` over established sessions, with
+    /// `a < b`.
+    pub fn sessions(&self) -> impl Iterator<Item = ((RouterId, RouterId), Time)> + '_ {
+        self.sessions.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Whether `node` is currently up (not crashed).
+    pub fn is_node_up(&self, node: RouterId) -> bool {
+        !self.down.contains(&node)
+    }
+
     /// Injects an external event at absolute time `at`.
     pub fn schedule_external(&mut self, at: Time, node: RouterId, ev: P::External) {
         assert!(self.nodes.contains_key(&node), "unknown node {node:?}");
         self.push(at.max(self.now), Event::External { node, ev });
+    }
+
+    /// Schedules a session failure at `at`: in-flight messages are
+    /// discarded and both surviving endpoints get `on_session_down`.
+    pub fn schedule_session_down(&mut self, at: Time, a: RouterId, b: RouterId) {
+        assert!(self.nodes.contains_key(&a), "unknown node {a:?}");
+        assert!(self.nodes.contains_key(&b), "unknown node {b:?}");
+        self.push(at.max(self.now), Event::SessionDown { a, b });
+    }
+
+    /// Schedules a session (re-)establishment at `at`: the session is
+    /// added and both endpoints get `on_session_up`. Ignored if either
+    /// endpoint is down at that time.
+    pub fn schedule_session_up(&mut self, at: Time, a: RouterId, b: RouterId, latency: Time) {
+        assert!(a != b, "self-session");
+        assert!(self.nodes.contains_key(&a), "unknown node {a:?}");
+        assert!(self.nodes.contains_key(&b), "unknown node {b:?}");
+        self.push(at.max(self.now), Event::SessionUp { a, b, latency });
+    }
+
+    /// Schedules a router crash at `at`: every session of the node is
+    /// torn down (peers get `on_session_down`), its in-flight messages
+    /// and timers are discarded, and events addressed to it are dropped
+    /// until a matching [`Sim::schedule_node_up`].
+    pub fn schedule_node_down(&mut self, at: Time, node: RouterId) {
+        assert!(self.nodes.contains_key(&node), "unknown node {node:?}");
+        self.push(at.max(self.now), Event::NodeDown { node });
+    }
+
+    /// Schedules a router restart at `at`: the node comes back with
+    /// `on_restart` (its protocol must reset lost state) but no
+    /// sessions — schedule those separately.
+    pub fn schedule_node_up(&mut self, at: Time, node: RouterId) {
+        assert!(self.nodes.contains_key(&node), "unknown node {node:?}");
+        self.push(at.max(self.now), Event::NodeUp { node });
     }
 
     fn push(&mut self, at: Time, ev: Event<P>) {
@@ -235,21 +359,78 @@ impl<P: Protocol> Sim<P> {
                 };
             }
             self.heap.pop();
-            let ev = self.payloads.remove(&id).expect("payload for event");
+            // The payload may have been discarded by a session failure
+            // or crash after the heap entry was pushed.
+            let Some(ev) = self.payloads.remove(&id) else {
+                continue;
+            };
             self.now = at;
             events += 1;
             match ev {
                 Event::Deliver { from, to, msg } => {
+                    if self.down.contains(&to) {
+                        self.dropped += 1;
+                        continue;
+                    }
                     if let Some(stats) = self.stats.get_mut(&to) {
                         stats.received += 1;
                     }
                     self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
                 }
                 Event::Timer { node, token } => {
+                    if self.down.contains(&node) {
+                        continue;
+                    }
                     self.with_node(node, |n, ctx| n.on_timer(ctx, token));
                 }
                 Event::External { node, ev } => {
+                    if self.down.contains(&node) {
+                        self.dropped += 1;
+                        continue;
+                    }
                     self.with_node(node, |n, ctx| n.on_external(ctx, ev));
+                }
+                Event::SessionDown { a, b } => {
+                    if self.has_session(a, b) {
+                        self.remove_session(a, b);
+                        for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
+                            if !self.down.contains(&me) {
+                                self.with_node(me, |n, ctx| n.on_session_down(ctx, peer));
+                            }
+                        }
+                    }
+                }
+                Event::SessionUp { a, b, latency } => {
+                    if !self.down.contains(&a) && !self.down.contains(&b) && !self.has_session(a, b)
+                    {
+                        self.add_session(a, b, latency);
+                        for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
+                            self.with_node(me, |n, ctx| n.on_session_up(ctx, peer));
+                        }
+                    }
+                }
+                Event::NodeDown { node } => {
+                    if self.down.insert(node) {
+                        self.drop_node_events(node);
+                        let torn: Vec<(RouterId, RouterId)> = self
+                            .sessions
+                            .keys()
+                            .copied()
+                            .filter(|&(x, y)| x == node || y == node)
+                            .collect();
+                        for (x, y) in torn {
+                            self.sessions.remove(&(x, y));
+                            let peer = if x == node { y } else { x };
+                            if !self.down.contains(&peer) {
+                                self.with_node(peer, |n, ctx| n.on_session_down(ctx, node));
+                            }
+                        }
+                    }
+                }
+                Event::NodeUp { node } => {
+                    if self.down.remove(&node) {
+                        self.with_node(node, |n, ctx| n.on_restart(ctx));
+                    }
                 }
             }
         }
@@ -284,14 +465,7 @@ impl<P: Protocol> Sim<P> {
                         if let Some(stats) = self.stats.get_mut(&id) {
                             stats.transmitted += 1;
                         }
-                        self.push(
-                            self.now + lat,
-                            Event::Deliver {
-                                from: id,
-                                to,
-                                msg,
-                            },
-                        );
+                        self.push(self.now + lat, Event::Deliver { from: id, to, msg });
                     } else {
                         self.dropped += 1;
                     }
@@ -341,7 +515,9 @@ impl<P: Protocol> Sim<P> {
         self.stats.get(&id).copied().unwrap_or_default()
     }
 
-    /// Messages dropped for lack of a session.
+    /// Messages dropped: sends without a session, in-flight messages
+    /// discarded by session failures or crashes, and deliveries or
+    /// external events addressed to a crashed node.
     pub fn dropped_messages(&self) -> u64 {
         self.dropped
     }
@@ -516,6 +692,128 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(sim.node(RouterId(1)).fired, vec![1, 2, 3]);
         assert_eq!(sim.now(), 30);
+    }
+
+    /// Records every hook invocation; used by the fault-semantics tests.
+    struct HookRecorder {
+        peer: RouterId,
+        received: Vec<u32>,
+        downs: Vec<RouterId>,
+        ups: Vec<RouterId>,
+        restarts: u32,
+    }
+
+    impl HookRecorder {
+        fn new(peer: RouterId) -> Self {
+            HookRecorder {
+                peer,
+                received: vec![],
+                downs: vec![],
+                ups: vec![],
+                restarts: 0,
+            }
+        }
+    }
+
+    impl Protocol for HookRecorder {
+        type Msg = u32;
+        type External = u32;
+
+        fn on_message(&mut self, _ctx: &mut Ctx<u32>, _from: RouterId, msg: u32) {
+            self.received.push(msg);
+        }
+
+        fn on_external(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            ctx.send(self.peer, ev);
+        }
+
+        fn on_session_down(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.downs.push(peer);
+        }
+
+        fn on_session_up(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.ups.push(peer);
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Ctx<u32>) {
+            self.restarts += 1;
+        }
+    }
+
+    fn recorder_pair() -> Sim<HookRecorder> {
+        let mut sim = Sim::new();
+        sim.add_node(RouterId(1), HookRecorder::new(RouterId(2)));
+        sim.add_node(RouterId(2), HookRecorder::new(RouterId(1)));
+        sim.add_session(RouterId(1), RouterId(2), 100);
+        sim
+    }
+
+    #[test]
+    fn remove_session_drops_in_flight() {
+        let mut sim = recorder_pair();
+        // Three messages leave node 1 at t=0 with latency 100; the
+        // session dies underneath them.
+        sim.schedule_external(0, RouterId(1), 7);
+        sim.schedule_external(0, RouterId(1), 8);
+        sim.schedule_external(0, RouterId(1), 9);
+        sim.schedule_session_down(50, RouterId(1), RouterId(2));
+        let out = sim.run_to_quiescence();
+        assert!(out.quiesced);
+        assert!(
+            sim.node(RouterId(2)).received.is_empty(),
+            "in-flight delivered"
+        );
+        assert_eq!(sim.dropped_messages(), 3);
+        assert!(!sim.has_session(RouterId(1), RouterId(2)));
+        assert_eq!(sim.num_sessions(), 0);
+    }
+
+    #[test]
+    fn session_down_fires_once_per_endpoint() {
+        let mut sim = recorder_pair();
+        sim.schedule_session_down(10, RouterId(1), RouterId(2));
+        // A second down for the same (now absent) session is a no-op.
+        sim.schedule_session_down(20, RouterId(2), RouterId(1));
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(RouterId(1)).downs, vec![RouterId(2)]);
+        assert_eq!(sim.node(RouterId(2)).downs, vec![RouterId(1)]);
+    }
+
+    #[test]
+    fn session_up_restores_delivery_and_fires_hooks() {
+        let mut sim = recorder_pair();
+        sim.schedule_session_down(10, RouterId(1), RouterId(2));
+        sim.schedule_session_up(500, RouterId(1), RouterId(2), 100);
+        sim.schedule_external(600, RouterId(1), 42);
+        let out = sim.run_to_quiescence();
+        assert!(out.quiesced);
+        assert_eq!(sim.node(RouterId(1)).ups, vec![RouterId(2)]);
+        assert_eq!(sim.node(RouterId(2)).ups, vec![RouterId(1)]);
+        assert_eq!(sim.node(RouterId(2)).received, vec![42]);
+        assert!(sim.has_session(RouterId(1), RouterId(2)));
+        assert_eq!(sim.num_sessions(), 1);
+    }
+
+    #[test]
+    fn node_crash_tears_sessions_and_restart_resets() {
+        let mut sim = recorder_pair();
+        sim.schedule_node_down(10, RouterId(2));
+        // Delivery addressed to the crashed node and external feed
+        // events during the outage are discarded.
+        sim.schedule_external(20, RouterId(1), 5);
+        sim.schedule_external(30, RouterId(2), 6);
+        sim.schedule_node_up(1_000, RouterId(2));
+        sim.schedule_session_up(1_100, RouterId(1), RouterId(2), 100);
+        sim.schedule_external(1_200, RouterId(1), 77);
+        let out = sim.run_to_quiescence();
+        assert!(out.quiesced);
+        // Peer saw the session die exactly once, then come back.
+        assert_eq!(sim.node(RouterId(1)).downs, vec![RouterId(2)]);
+        assert_eq!(sim.node(RouterId(1)).ups, vec![RouterId(2)]);
+        assert_eq!(sim.node(RouterId(2)).restarts, 1);
+        // Only the post-restart message arrived.
+        assert_eq!(sim.node(RouterId(2)).received, vec![77]);
+        assert!(sim.is_node_up(RouterId(2)));
     }
 
     #[test]

@@ -70,7 +70,10 @@ fn max_time_pauses_and_run_resumes() {
     });
     assert!(out2.quiesced);
     let total: usize = sim.node(RouterId(1)).log.len() + sim.node(RouterId(2)).log.len();
-    assert_eq!(total, 11, "all countdown messages (10..=0) delivered across the pause");
+    assert_eq!(
+        total, 11,
+        "all countdown messages (10..=0) delivered across the pause"
+    );
     // Resumed runs never rewind time.
     assert!(out2.end_time >= out1.end_time);
 }
@@ -131,7 +134,10 @@ fn session_removal_mid_run_drops_later_sends() {
     assert!(out.quiesced);
     assert!(sim.dropped_messages() > 0, "post-removal sends are dropped");
     let total = sim.node(RouterId(1)).log.len() + sim.node(RouterId(2)).log.len();
-    assert!(total < 10, "the countdown cannot finish without the session");
+    assert!(
+        total < 10,
+        "the countdown cannot finish without the session"
+    );
 }
 
 #[test]

@@ -139,7 +139,7 @@ pub fn generate(model: &Tier1Model, cfg: &ChurnConfig) -> Vec<TraceRecord> {
                         peer_addr: route.peer_addr,
                     },
                 });
-                let back = t + 2_000_000 + rng.gen_range(0..8_000_000) + jitter;
+                let back = t + 2_000_000 + rng.gen_range(0..8_000_000u64) + jitter;
                 records.push(TraceRecord {
                     t_us: back,
                     router: route.router,

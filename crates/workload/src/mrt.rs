@@ -197,7 +197,10 @@ mod tests {
                     assert_eq!(p1, p2);
                     assert_eq!(a1, a2);
                 }
-                (TraceEvent::Withdraw { prefix: p1, .. }, TraceEvent::Withdraw { prefix: p2, .. }) => {
+                (
+                    TraceEvent::Withdraw { prefix: p1, .. },
+                    TraceEvent::Withdraw { prefix: p2, .. },
+                ) => {
                     assert_eq!(p1, p2)
                 }
                 _ => panic!("event kind mismatch"),

@@ -59,12 +59,13 @@ mod tests {
         let spec = Arc::new(specs::abrr_spec(&m, 2, 2, &opts));
         let mut sim = abrr::build_sim(spec.clone());
         replay(&mut sim, &churn::initial_snapshot(&m), 1000);
-        assert!(sim
-            .run(netsim::RunLimits {
+        assert!(
+            sim.run(netsim::RunLimits {
                 max_events: 5_000_000,
                 max_time: u64::MAX,
             })
-            .quiesced);
+            .quiesced
+        );
         // Every router selected a route for every prefix.
         for plan in &m.prefixes {
             for r in &m.routers {

@@ -173,7 +173,7 @@ impl Tier1Model {
             match kind {
                 PrefixKind::Peer => {
                     // 1..=4 advertiser ASes, origin AS shared.
-                    let n_adv = 1 + rng.gen_range(0..5).min(rng.gen_range(0..5));
+                    let n_adv = 1 + rng.gen_range(0..5usize).min(rng.gen_range(0..5usize));
                     let origin_as = Asn(50_000 + i as u32);
                     let mut advs: Vec<usize> = (0..peer_ases.len()).collect();
                     advs.shuffle(&mut rng);
@@ -184,7 +184,7 @@ impl Tier1Model {
                         // paths from a Tier-1 frequently tie at the
                         // minimum, which is what makes several peer
                         // ASes' routes survive step 2 simultaneously.
-                        let extra = [0, 0, 1, 2][rng.gen_range(0..4)];
+                        let extra = [0, 0, 1, 2][rng.gen_range(0..4usize)];
                         let mut asns = vec![peer_ases[ai]];
                         for e in 0..extra {
                             asns.push(Asn(40_000 + (ai * 10 + e) as u32));
@@ -212,13 +212,11 @@ impl Tier1Model {
                 }
                 PrefixKind::Customer => {
                     let customer_as = Asn(60_000 + i as u32);
-                    let n_homes = 1 + rng.gen_range(0..2);
+                    let n_homes = 1 + rng.gen_range(0..2usize);
                     for h in 0..n_homes {
                         let router = routers[rng.gen_range(0..routers.len())];
-                        let mut attrs = PathAttributes::ebgp(
-                            AsPath::sequence([customer_as]),
-                            NextHop(0),
-                        );
+                        let mut attrs =
+                            PathAttributes::ebgp(AsPath::sequence([customer_as]), NextHop(0));
                         attrs.local_pref = Some(bgp_types::LocalPref(110));
                         routes.push(RoutePlan {
                             router,
@@ -297,7 +295,7 @@ impl Tier1Model {
     /// rows. Averages are over prefixes with at least one route under
     /// the sampled peer set.
     pub fn fig3_curve(&self, xs: &[usize], samples: usize) -> Vec<(usize, f64, f64)> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF16_3);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF163);
         let mut rows = Vec::new();
         for &x in xs {
             let x = x.min(self.peer_ases.len());
@@ -324,8 +322,16 @@ impl Tier1Model {
             }
             rows.push((
                 x,
-                if n_peer > 0 { sum_peer / n_peer as f64 } else { 0.0 },
-                if n_all > 0 { sum_all / n_all as f64 } else { 0.0 },
+                if n_peer > 0 {
+                    sum_peer / n_peer as f64
+                } else {
+                    0.0
+                },
+                if n_all > 0 {
+                    sum_all / n_all as f64
+                } else {
+                    0.0
+                },
             ));
         }
         rows

@@ -28,8 +28,14 @@ fn show(s: &Scenario) {
                 .routers
                 .iter()
                 .map(|r| {
-                    let e = sim.node(*r).selected(&s.prefixes[0]).map(|x| x.exit_router());
-                    format!("{r:?}->{}", e.map(|e| format!("{e:?}")).unwrap_or("-".into()))
+                    let e = sim
+                        .node(*r)
+                        .selected(&s.prefixes[0])
+                        .map(|x| x.exit_router());
+                    format!(
+                        "{r:?}->{}",
+                        e.map(|e| format!("{e:?}")).unwrap_or("-".into())
+                    )
                 })
                 .collect();
             println!(

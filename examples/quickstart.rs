@@ -58,7 +58,12 @@ fn main() {
 
     // 5. Every router picked its IGP-nearest exit for p1 (hot potato),
     //    because the ARRs delivered *both* best AS-level routes.
-    println!("{:<8} {:>12} {:>12}", "router", p1.to_string(), p2.to_string());
+    println!(
+        "{:<8} {:>12} {:>12}",
+        "router",
+        p1.to_string(),
+        p2.to_string()
+    );
     for r in &routers {
         let e1 = sim.node(*r).selected(&p1).map(|s| s.exit_router());
         let e2 = sim.node(*r).selected(&p2).map(|s| s.exit_router());

@@ -58,8 +58,14 @@ fn main() {
         ..Default::default()
     };
     for (name, spec) in [
-        ("ABRR (#APs=6, 2 ARRs each)", specs::abrr_spec(&model, 6, 2, &opts)),
-        ("TBRR (6 clusters, 2 TRRs)", specs::tbrr_spec(&model, 2, false, &opts)),
+        (
+            "ABRR (#APs=6, 2 ARRs each)",
+            specs::abrr_spec(&model, 6, 2, &opts),
+        ),
+        (
+            "TBRR (6 clusters, 2 TRRs)",
+            specs::tbrr_spec(&model, 2, false, &opts),
+        ),
     ] {
         let rrs: Vec<_> = if spec.mode.has_abrr() {
             spec.all_arrs()

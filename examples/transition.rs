@@ -16,8 +16,7 @@ fn main() {
     spec.mode = Mode::Transition;
     spec.ap_map = Some(ApMap::uniform(4));
     for (i, part) in ApMap::uniform(4).partitions().iter().enumerate() {
-        spec.arrs
-            .insert(part.id, vec![routers[i % 2 * 3]]); // routers 0 and 3 alternate
+        spec.arrs.insert(part.id, vec![routers[i % 2 * 3]]); // routers 0 and 3 alternate
     }
     spec.clusters = vec![
         ClusterSpec {
@@ -78,7 +77,10 @@ fn main() {
         println!();
     };
 
-    println!("routes at router {:?}, by plane, as APs cut over:\n", routers[4]);
+    println!(
+        "routes at router {:?}, by plane, as APs cut over:\n",
+        routers[4]
+    );
     describe(&sim, "before cutover");
     for ap in 0..4u16 {
         let t = sim.now() + 1;
@@ -92,7 +94,10 @@ fn main() {
         assert_eq!(loops, 0, "loops during transition");
         for p in &prefixes {
             for r in &routers {
-                assert!(sim.node(*r).selected(p).is_some(), "blackhole during cutover");
+                assert!(
+                    sim.node(*r).selected(p).is_some(),
+                    "blackhole during cutover"
+                );
             }
         }
         describe(&sim, &format!("after cutover of AP{ap}"));

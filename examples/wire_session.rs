@@ -7,14 +7,17 @@
 //! Run with: `cargo run --example wire_session`
 
 use bgp_types::{AsPath, Asn, Ipv4Prefix, NextHop, OriginatorId, PathAttributes, PathId};
-use bgp_wire::{
-    FsmAction, FsmState, Message, Nlri, SessionConfig, SessionFsm, UpdateMessage,
-};
+use bgp_wire::{FsmAction, FsmState, Message, Nlri, SessionConfig, SessionFsm, UpdateMessage};
 use bytes::BytesMut;
 
 /// Delivers every Send action from `from` into `to`, returning the
 /// resulting actions (a crude in-memory TCP).
-fn deliver(now: u64, from_actions: Vec<FsmAction>, from: &SessionFsm, to: &mut SessionFsm) -> Vec<FsmAction> {
+fn deliver(
+    now: u64,
+    from_actions: Vec<FsmAction>,
+    from: &SessionFsm,
+    to: &mut SessionFsm,
+) -> Vec<FsmAction> {
     let mut out = Vec::new();
     for act in from_actions {
         match act {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the workspace root:
+#
+#   scripts/ci.sh
+#
+# Everything is offline: dependencies are the vendored stubs under
+# vendor/, so no network access or registry is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -7,9 +7,9 @@ use abrr::prelude::*;
 use abrr_repro_helpers::*;
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
-use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
 #[allow(unused_imports)]
 use workload::PrefixKind;
+use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
 
 /// Shared helpers for the integration tests.
 mod abrr_repro_helpers {
@@ -215,7 +215,16 @@ fn per_event_generation_asymmetry() {
         .filter(|p| p.kind == workload::PrefixKind::Peer)
         .max_by_key(|p| p.routes.len())
         .expect("peer prefix");
-    let peer_as = plan.routes[0].peer_as;
+    // Re-announcing an AS's routes only causes updates if some routers
+    // currently select them; the AS with the shortest path is in the
+    // best-AS-level set (all peer routes tie on LOCAL_PREF), so its
+    // geographically-spread peering points win hot-potato somewhere.
+    let peer_as = plan
+        .routes
+        .iter()
+        .min_by_key(|r| r.attrs.as_path.path_len())
+        .expect("peer route")
+        .peer_as;
     let opts = SpecOptions {
         mrai_us: 5_000_000,
         ..Default::default()
@@ -280,7 +289,10 @@ fn abrr_updates_are_longer_but_fewer_bytes_tradeoff() {
         let sim = converge(spec, &model);
         let _ = &sim;
         let gen: u64 = rrs.iter().map(|r| sim.node(*r).counters().generated).sum();
-        let tx: u64 = rrs.iter().map(|r| sim.node(*r).counters().transmitted).sum();
+        let tx: u64 = rrs
+            .iter()
+            .map(|r| sim.node(*r).counters().transmitted)
+            .sum();
         let bytes: u64 = rrs
             .iter()
             .map(|r| sim.node(*r).counters().bytes_transmitted)

@@ -1,0 +1,332 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate covering the
+//! surface this workspace uses: `BytesMut` as a growable write buffer,
+//! `Bytes` as a frozen immutable view, and the `Buf`/`BufMut` traits
+//! with big-endian integer accessors.
+//!
+//! Semantics match the real crate for this subset: `Buf` reads consume
+//! from the front, `BufMut` writes append at the back, and reads past
+//! the end panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Fills `dst` from the cursor. Panics on underrun.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "buffer underrun: need {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front and writes
+/// appended at the back.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes the unread bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(&self.data[self.read..]),
+            read: 0,
+        }
+    }
+
+    /// Appends raw bytes (mirror of the real crate's inherent method).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Discards already-read bytes and clears the rest.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.read = 0;
+    }
+
+    /// Splits off and returns the first `at` unread bytes; `self`
+    /// keeps the remainder. Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to past end");
+        let head = self.data[self.read..self.read + at].to_vec();
+        self.read += at;
+        BytesMut {
+            data: head,
+            read: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let read = self.read;
+        &mut self.data[read..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            read: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data, read: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:02x?})", &self[..])
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.read += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Immutable, cheaply-cloneable byte slice with a read cursor (so it
+/// can be consumed through [`Buf`] like the real crate's `Bytes`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    read: usize,
+}
+
+impl Bytes {
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies a slice into a new `Bytes`.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(src),
+            read: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", &self[..])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.read += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_be_integers() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0xA1B2C3D4);
+        b.put_u64(0x1122334455667788);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0xA1B2C3D4);
+        assert_eq!(b.get_u64(), 0x1122334455667788);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn freeze_keeps_unread_only() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b.advance(1);
+        let f = b.freeze();
+        assert_eq!(&f[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underrun_panics() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        let _ = b.get_u32();
+    }
+}

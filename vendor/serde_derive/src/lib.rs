@@ -1,0 +1,467 @@
+//! Derive macros for the vendored `serde` stub, written against raw
+//! `proc_macro::TokenStream` (no `syn`/`quote` — those crates are not
+//! available offline).
+//!
+//! Supported shapes — which covers every derived type in this
+//! workspace:
+//!
+//! * non-generic structs with named fields → `Value::Map` keyed by
+//!   field name;
+//! * non-generic tuple structs → `Value::Seq`;
+//! * unit structs → `Value::Null`;
+//! * non-generic enums: unit variants → `Value::Str(name)`, tuple
+//!   variants → `Map { name: Seq }`, struct variants →
+//!   `Map { name: Map }`.
+//!
+//! Generic items produce a compile error naming the limitation rather
+//! than silently emitting nothing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match &toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match &toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past leading `#[...]` attributes (incl. doc comments) and
+/// any `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens up to (not including) a top-level `,`.
+/// Tracks `<`/`>` nesting; `->` in `fn`-types is handled by skipping
+/// the `>` that follows a `-`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if depth == 0 => return,
+                '<' => {
+                    depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    depth -= 1;
+                    *i += 1;
+                }
+                '-' => {
+                    *i += 1;
+                    if matches!(toks.get(*i), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        *i += 1;
+                    }
+                }
+                _ => *i += 1,
+            },
+            _ => *i += 1,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match &toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(name);
+        // Trailing/separating comma.
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any `= discriminant` and advance to past the comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(serde::Value::Str({f:?}.to_string()), \
+                                 serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),"),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => serde::Value::Map(vec![(\
+                                 serde::Value::Str({v:?}.to_string()), \
+                                 serde::Value::Seq(vec![{vals}]))]),",
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(serde::Value::Str({f:?}.to_string()), \
+                                     serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Map(vec![(\
+                                 serde::Value::Str({v:?}.to_string()), \
+                                 serde::Value::Map(vec![{entries}]))]),",
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(\
+                                     v.get({f:?}).ok_or_else(|| serde::Error::custom(\
+                                         concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if v.as_map().is_none() {{\n\
+                             return Err(serde::Error::custom(\"expected map for {name}\"));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})",
+                        inits = inits.join(", ")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let s = v.as_seq().ok_or_else(|| \
+                             serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                         if s.len() != {n} {{\n\
+                             return Err(serde::Error::custom(\"wrong arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({inits}))",
+                        inits = inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match v {{ serde::Value::Null => Ok({name}), _ => \
+                         Err(serde::Error::custom(\"expected null for {name}\")) }}"
+                ),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                                 let s = payload.as_seq().ok_or_else(|| serde::Error::custom(\
+                                     \"expected sequence payload for {name}::{v}\"))?;\n\
+                                 if s.len() != {n} {{\n\
+                                     return Err(serde::Error::custom(\
+                                         \"wrong arity for {name}::{v}\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{v}({inits}));\n\
+                             }}",
+                            inits = inits.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(\
+                                         payload.get({f:?}).ok_or_else(|| serde::Error::custom(\
+                                             concat!(\"missing field `\", {f:?}, \
+                                                     \"` in {name}::{v}\")))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => return Ok({name}::{v} {{ {inits} }}),",
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if let Some(tag) = v.as_str() {{\n\
+                             #[allow(clippy::match_single_binding)]\n\
+                             match tag {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                             return Err(serde::Error::custom(format!(\
+                                 \"unknown unit variant `{{tag}}` for {name}\")));\n\
+                         }}\n\
+                         if let Some(entries) = v.as_map() {{\n\
+                             if let [(tag, payload)] = entries {{\n\
+                                 let tag = tag.as_str().ok_or_else(|| serde::Error::custom(\
+                                     \"expected string variant tag for {name}\"))?;\n\
+                                 #[allow(clippy::match_single_binding)]\n\
+                                 match tag {{\n{data_arms}\n_ => {{}}\n}}\n\
+                                 let _ = payload;\n\
+                                 return Err(serde::Error::custom(format!(\
+                                     \"unknown variant `{{tag}}` for {name}\")));\n\
+                             }}\n\
+                         }}\n\
+                         Err(serde::Error::custom(\"expected variant encoding for {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    }
+}
