@@ -1,8 +1,12 @@
 //! Microbenchmarks for the building blocks: prefix trie, decision
-//! process, wire codec, SPF, and MRAI pacing.
+//! process, wire codec, SPF, MRAI pacing, attribute interning, and the
+//! hash-backed RIB tables.
 
-use bgp_rib::{best_as_level, best_path, Candidate, DecisionConfig};
-use bgp_types::{AsPath, Asn, Ipv4Prefix, Med, NextHop, PathAttributes, PrefixTrie, RouteSource};
+use bgp_rib::{best_as_level, best_path, AdjRibIn, Candidate, DecisionConfig, LocRib};
+use bgp_types::{
+    intern, AsPath, Asn, Ipv4Prefix, Med, NextHop, PathAttributes, PrefixTrie, RouteSource,
+    RouterId,
+};
 use bgp_wire::{CodecConfig, Message, Nlri, UpdateMessage};
 use bytes::BytesMut;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -146,12 +150,93 @@ fn bench_mrai(c: &mut Criterion) {
     });
 }
 
+fn bench_intern(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intern");
+    // Hot path in a converged network: the same few attribute sets are
+    // re-derived over and over — every call after the first is a hit.
+    g.bench_function("hit", |b| {
+        let attrs = PathAttributes::ebgp(AsPath::sequence([Asn(7018), Asn(3356)]), NextHop(42));
+        let _keepalive = intern(attrs.clone());
+        b.iter(|| black_box(intern(attrs.clone())))
+    });
+    // Plain allocation, for the cost delta interning must amortize.
+    g.bench_function("arc_new", |b| {
+        let attrs = PathAttributes::ebgp(AsPath::sequence([Asn(7018), Asn(3356)]), NextHop(42));
+        b.iter(|| black_box(Arc::new(attrs.clone())))
+    });
+    g.bench_function("miss_churn_64", |b| {
+        // Worst case: a rotating window of distinct sets, so the
+        // registry keeps sweeping dead entries.
+        let mut nh = 0u32;
+        b.iter(|| {
+            nh = nh.wrapping_add(1);
+            let attrs = PathAttributes::ebgp(
+                AsPath::sequence([Asn(7018), Asn(3356)]),
+                NextHop(0x5000_0000 + (nh % 64)),
+            );
+            black_box(intern(attrs))
+        })
+    });
+    g.finish();
+}
+
+fn bench_rib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rib");
+    let pfx = prefixes(10_000);
+    let path = |i: usize| {
+        vec![(
+            bgp_types::PathId(i as u32),
+            intern(PathAttributes::ebgp(
+                AsPath::sequence([Asn(100 + (i % 16) as u32)]),
+                NextHop(i as u32),
+            )),
+        )]
+    };
+    g.bench_function("adj_rib_in_set_10k", |b| {
+        b.iter(|| {
+            let mut rib = AdjRibIn::new();
+            for (i, p) in pfx.iter().enumerate() {
+                rib.set_paths(RouterId((i % 8) as u32), *p, path(i));
+            }
+            black_box(rib.num_entries())
+        })
+    });
+    let mut rib = AdjRibIn::new();
+    for (i, p) in pfx.iter().enumerate() {
+        rib.set_paths(RouterId((i % 8) as u32), *p, path(i));
+    }
+    g.bench_function("adj_rib_in_all_paths", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % pfx.len();
+            black_box(rib.all_paths(&pfx[k]).count())
+        })
+    });
+    let mut loc: LocRib<usize> = LocRib::new();
+    for (i, p) in pfx.iter().enumerate() {
+        loc.set(*p, Some(i));
+    }
+    g.bench_function("loc_rib_get", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % pfx.len();
+            black_box(loc.get(&pfx[k]))
+        })
+    });
+    g.bench_function("loc_rib_iter_sorted", |b| {
+        b.iter(|| black_box(loc.iter().count()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_trie,
     bench_decision,
     bench_wire,
     bench_spf,
-    bench_mrai
+    bench_mrai,
+    bench_intern,
+    bench_rib
 );
 criterion_main!(benches);

@@ -16,20 +16,30 @@
 //!       [--mrai-secs S] [--prefixes N] [--probes K]`
 
 use abrr::prelude::*;
-use abrr_bench::{header, Args};
+use abrr_bench::{header, run_sim, Args};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
 
 /// Mean probe-propagation latency (seconds) under background churn.
-fn probe_latency(spec: Arc<NetworkSpec>, model: &Tier1Model, mrai_us: u64, n_probes: usize) -> f64 {
+fn probe_latency(
+    spec: Arc<NetworkSpec>,
+    model: &Tier1Model,
+    mrai_us: u64,
+    n_probes: usize,
+    threads: usize,
+) -> f64 {
     let mut sim = abrr::build_sim(spec);
     regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
     // Sample at a time budget: single-path TBRR may not quiesce.
-    sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: abrr_bench::SETTLE_BUDGET_US,
-    });
+    run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: abrr_bench::SETTLE_BUDGET_US,
+        },
+        threads,
+    );
 
     // Background churn keeps every session's MRAI interval busy with a
     // random phase.
@@ -70,10 +80,14 @@ fn probe_latency(spec: Arc<NetworkSpec>, model: &Tier1Model, mrai_us: u64, n_pro
         let mut horizon = t_probe;
         while t_done.is_none() {
             horizon += slice;
-            sim.run(RunLimits {
-                max_events: u64::MAX,
-                max_time: horizon,
-            });
+            run_sim(
+                &mut sim,
+                RunLimits {
+                    max_events: u64::MAX,
+                    max_time: horizon,
+                },
+                threads,
+            );
             let all_know = model
                 .routers
                 .iter()
@@ -96,6 +110,7 @@ fn main() {
     let args = Args::parse();
     let mrai_secs: u64 = args.get("mrai-secs", 5);
     let n_probes: usize = args.get("probes", 8);
+    let threads = args.threads();
     let cfg = Tier1Config {
         n_prefixes: args.get("prefixes", 200),
         n_pops: 6,
@@ -118,12 +133,14 @@ fn main() {
             &model,
             mrai_us,
             n_probes,
+            threads,
         );
         let tb = probe_latency(
             Arc::new(specs::tbrr_spec(&model, 2, false, &opts)),
             &model,
             mrai_us,
             n_probes,
+            threads,
         );
         (ab, tb)
     };

@@ -6,12 +6,12 @@
 
 use abrr::prelude::*;
 use abrr::scenarios::{self, Scenario};
-use abrr_bench::header;
+use abrr_bench::{header, Args};
 
 const OSC_BUDGET: u64 = 100_000;
 
-fn verdict(s: &Scenario, mode: Mode) -> String {
-    let (sim, out) = s.run(mode.clone(), OSC_BUDGET);
+fn verdict(s: &Scenario, mode: Mode, threads: usize) -> String {
+    let (sim, out) = s.run_threaded(mode.clone(), OSC_BUDGET, threads);
     if !out.quiesced {
         return format!("OSCILLATES (>{} events)", out.events);
     }
@@ -24,6 +24,7 @@ fn verdict(s: &Scenario, mode: Mode) -> String {
 }
 
 fn main() {
+    let threads = Args::parse().threads();
     header(
         "§2.3 — oscillation / loop / efficiency audit",
         "gadgets: RFC3345-style MED oscillation; cyclic-IGP topology oscillation",
@@ -36,11 +37,15 @@ fn main() {
             Mode::Tbrr { multipath: false },
             Mode::Tbrr { multipath: true },
         ] {
-            println!("  {:<22} {}", format!("{mode:?}"), verdict(&s, mode));
+            println!(
+                "  {:<22} {}",
+                format!("{mode:?}"),
+                verdict(&s, mode, threads)
+            );
         }
         // Path-efficiency audit for ABRR vs full mesh.
-        let (ab, o1) = s.run(Mode::Abrr, OSC_BUDGET);
-        let (mesh, o2) = s.run(Mode::FullMesh, OSC_BUDGET);
+        let (ab, o1) = s.run_threaded(Mode::Abrr, OSC_BUDGET, threads);
+        let (mesh, o2) = s.run_threaded(Mode::FullMesh, OSC_BUDGET, threads);
         if o1.quiesced && o2.quiesced {
             let spec = s.spec(Mode::Abrr);
             let report = audit::compare_exits(&ab, &spec, &mesh, &s.routers, &s.prefixes);

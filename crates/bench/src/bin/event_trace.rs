@@ -30,6 +30,7 @@ fn main() {
         ..Tier1Config::default()
     };
     let k_events: usize = args.get("events", 10);
+    let threads = args.threads();
     header(
         "§4.2 event microscope — per-routing-event update costs",
         &format!(
@@ -70,7 +71,7 @@ fn main() {
             spec.all_trrs()
         };
         let spec = Arc::new(spec);
-        let (mut sim, _) = converge_snapshot(spec.clone(), &model, 1_000);
+        let (mut sim, _) = converge_snapshot(spec.clone(), &model, 1_000, threads);
         let rr_b = fleet_stats(&sim, &rrs);
         let cl_b = fleet_stats(&sim, &model.routers);
         for (e, plan) in plans.iter().enumerate() {
@@ -100,10 +101,14 @@ fn main() {
                 );
             }
             // Let each event fully settle before the next (isolation).
-            sim.run(netsim::RunLimits {
-                max_events: u64::MAX,
-                max_time: t0 + 60_000_000,
-            });
+            abrr_bench::run_sim(
+                &mut sim,
+                netsim::RunLimits {
+                    max_events: u64::MAX,
+                    max_time: t0 + 60_000_000,
+                },
+                threads,
+            );
         }
         let rr_d = counter_delta(&rr_b, &fleet_stats(&sim, &rrs));
         let cl_d = counter_delta(&cl_b, &fleet_stats(&sim, &model.routers));

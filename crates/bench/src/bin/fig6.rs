@@ -27,6 +27,7 @@ fn main() {
         ..Tier1Config::default()
     };
     let balanced = args.flag("balanced");
+    let threads = args.threads();
     header(
         "Figure 6 — experimental RIB-In/RIB-Out of ARR/TRR vs analysis",
         &format!(
@@ -66,7 +67,7 @@ fn main() {
     for n_aps in [1usize, 2, 4, 8, 16, 32] {
         let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
         let arrs = spec.all_arrs();
-        let (sim, out) = converge_snapshot(spec, &model, 1_000);
+        let (sim, out) = converge_snapshot(spec, &model, 1_000, threads);
         assert!(out.quiesced, "ABRR #APs={n_aps} did not converge");
         let _ = out;
         let stats = fleet_stats(&sim, &arrs);
@@ -94,7 +95,7 @@ fn main() {
         let spec = Arc::new(specs::tbrr_spec(&model, 2, multipath, &opts));
         let trrs = spec.all_trrs();
         let n_clusters = spec.clusters.len();
-        let (sim, out) = converge_snapshot(spec, &model, 1_000);
+        let (sim, out) = converge_snapshot(spec, &model, 1_000, threads);
         if !out.quiesced {
             println!(
                 "# note: TBRR multipath={multipath} did not quiesce (single-path TBRR can \

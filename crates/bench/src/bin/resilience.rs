@@ -35,7 +35,7 @@
 //!       [--slice-ms S]`
 
 use abrr::prelude::*;
-use abrr_bench::{counter_delta, fleet_stats, header, Args, SETTLE_BUDGET_US};
+use abrr_bench::{counter_delta, fleet_stats, header, run_sim, Args, SETTLE_BUDGET_US};
 use faults::{compile, FaultKind, FaultSchedule, ResilienceProbe};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
@@ -81,20 +81,24 @@ fn schedule_kill(scn: &Scenario, seed: u64, at: netsim::Time, sim: &mut netsim::
 /// `quiesced` records whether it actually drained — single-path TBRR
 /// can oscillate persistently even without faults (§2.3), which makes
 /// its quiescence-based reconvergence time unmeasurable.
-fn converged(scn: &Scenario, model: &Tier1Model) -> (netsim::Sim<BgpNode>, bool) {
+fn converged(scn: &Scenario, model: &Tier1Model, threads: usize) -> (netsim::Sim<BgpNode>, bool) {
     let mut sim = abrr::build_sim(scn.spec.clone());
     regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
-    let out = sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: SETTLE_BUDGET_US,
-    });
+    let out = run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: SETTLE_BUDGET_US,
+        },
+        threads,
+    );
     (sim, out.quiesced)
 }
 
 /// Quiet failover: kill on an otherwise idle converged network and let
 /// it requiesce. Reconvergence is pure failure-absorption time.
-fn quiet_failover(scn: &Scenario, model: &Tier1Model, seed: u64, rep: &mut Report) {
-    let (mut sim, quiesced) = converged(scn, model);
+fn quiet_failover(scn: &Scenario, model: &Tier1Model, seed: u64, threads: usize, rep: &mut Report) {
+    let (mut sim, quiesced) = converged(scn, model, threads);
     rep.baseline_quiesced = quiesced;
     let survivors: Vec<RouterId> = scn
         .spec
@@ -105,10 +109,14 @@ fn quiet_failover(scn: &Scenario, model: &Tier1Model, seed: u64, rep: &mut Repor
     let t_kill = sim.now() + 1_000_000;
     schedule_kill(scn, seed, t_kill, &mut sim);
     let before = fleet_stats(&sim, &survivors);
-    let out = sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: t_kill + SETTLE_BUDGET_US,
-    });
+    let out = run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: t_kill + SETTLE_BUDGET_US,
+        },
+        threads,
+    );
     let delta = counter_delta(&before, &fleet_stats(&sim, &survivors));
     rep.quiet_reconverge_s = out.end_time.saturating_sub(t_kill) as f64 / 1e6;
     rep.quiet_quiesced = out.quiesced;
@@ -131,9 +139,10 @@ fn churn_failover(
     seed: u64,
     observe_us: u64,
     slice_us: u64,
+    threads: usize,
     rep: &mut Report,
 ) {
-    let (mut sim, _) = converged(scn, model);
+    let (mut sim, _) = converged(scn, model, threads);
     let survivors: Vec<RouterId> = scn
         .spec
         .all_nodes()
@@ -159,19 +168,27 @@ fn churn_failover(
     // windows (a flapped route is briefly stale everywhere while the
     // withdrawal propagates) can be subtracted from the post-kill
     // numbers.
-    sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: t_kill - observe_us,
-    });
+    run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: t_kill - observe_us,
+        },
+        threads,
+    );
     let a = fleet_stats(&sim, &survivors);
     let mut base_probe = ResilienceProbe::new(t_kill - observe_us);
     let mut horizon = t_kill - observe_us;
     while horizon < t_kill - 1 {
         horizon = (horizon + slice_us).min(t_kill - 1);
-        sim.run(RunLimits {
-            max_events: u64::MAX,
-            max_time: horizon,
-        });
+        run_sim(
+            &mut sim,
+            RunLimits {
+                max_events: u64::MAX,
+                max_time: horizon,
+            },
+            threads,
+        );
         base_probe.sample(&sim, &scn.spec, false);
     }
     let b = fleet_stats(&sim, &survivors);
@@ -183,10 +200,14 @@ fn churn_failover(
     let mut horizon = t_kill - 1;
     while horizon < t_kill - 1 + observe_us {
         horizon += slice_us;
-        sim.run(RunLimits {
-            max_events: u64::MAX,
-            max_time: horizon,
-        });
+        run_sim(
+            &mut sim,
+            RunLimits {
+                max_events: u64::MAX,
+                max_time: horizon,
+            },
+            threads,
+        );
         probe.sample(&sim, &scn.spec, true);
         if heal_at.is_none() && probe.currently_blackholed == 0 && horizon > t_kill {
             heal_at = Some(horizon);
@@ -211,6 +232,7 @@ fn main() {
     let mrai_secs: u64 = args.get("mrai-secs", 0);
     let observe_secs: u64 = args.get("observe-secs", 20);
     let slice_ms: u64 = args.get("slice-ms", 250);
+    let threads = args.threads();
     let cfg = Tier1Config {
         seed,
         n_prefixes: args.get("prefixes", 300),
@@ -264,13 +286,14 @@ fn main() {
     let mut reports = Vec::new();
     for scn in &scenarios {
         let mut rep = Report::default();
-        quiet_failover(scn, &model, seed, &mut rep);
+        quiet_failover(scn, &model, seed, threads, &mut rep);
         churn_failover(
             scn,
             &model,
             seed,
             observe_secs * 1_000_000,
             slice_ms * 1_000,
+            threads,
             &mut rep,
         );
         println!("# {}: victim {:?}", scn.name, scn.victim);

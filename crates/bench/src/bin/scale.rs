@@ -1,0 +1,198 @@
+//! Scaling harness: wall-clock, peak RSS, and event throughput for the
+//! two heaviest workloads (fig7-style churn and resilience-style ARR
+//! failover), under either engine. Emits one JSON object per run —
+//! printed to stdout and appended to `--out FILE` when given — so
+//! `scripts/bench.sh` can collect a `BENCH_<date>.json` comparing the
+//! sequential engine, the parallel engine at several thread counts, and
+//! a pre-optimization baseline build.
+//!
+//! Peak RSS is read from `VmHWM` in `/proc/self/status` (Linux-only;
+//! reported as 0 elsewhere), so each invocation measures exactly one
+//! workload — run the bin once per configuration.
+//!
+//! Run: `cargo run --release -p abrr-bench --bin scale --
+//!       [--workload churn|failover] [--threads N] [--prefixes N]
+//!       [--minutes M] [--rate EPS] [--seed S] [--aps N]
+//!       [--label L] [--out FILE]`
+
+use abrr::prelude::*;
+use abrr_bench::{run_sim, Args, SETTLE_BUDGET_US};
+use faults::{compile, FaultKind, FaultSchedule};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use workload::specs::{self, SpecOptions};
+use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
+
+/// Peak resident set size of this process, in kB (`VmHWM`).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Measured {
+    events: u64,
+    quiesced: bool,
+    sim_end_us: u64,
+    /// Interner counters sampled while the sim (and so every RIB) is
+    /// still alive — `entries` is the live dedup set, not the empty
+    /// post-teardown registry.
+    intern: bgp_types::intern::InternStats,
+}
+
+/// Converged snapshot load + scaled churn trace (the fig7 workload).
+fn churn_workload(
+    model: &Tier1Model,
+    n_aps: usize,
+    minutes: u64,
+    rate: f64,
+    threads: usize,
+) -> Measured {
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(model, n_aps, 2, &opts));
+    let mut sim = abrr::build_sim(spec);
+    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
+    let settle = RunLimits {
+        max_events: u64::MAX,
+        max_time: SETTLE_BUDGET_US,
+    };
+    let out1 = run_sim(&mut sim, settle, threads);
+    let cfg = ChurnConfig {
+        duration_us: minutes * 60_000_000,
+        events_per_sec: rate,
+        ..ChurnConfig::default()
+    };
+    let deadline = sim.now() + cfg.duration_us + SETTLE_BUDGET_US;
+    regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
+    let out2 = run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: deadline,
+        },
+        threads,
+    );
+    Measured {
+        events: out1.events + out2.events,
+        quiesced: out2.quiesced,
+        sim_end_us: out2.end_time,
+        intern: bgp_types::intern::stats(),
+    }
+}
+
+/// Converged snapshot load + ARR kill under churn (the resilience
+/// workload): the fault schedule is compiled exactly as the resilience
+/// bin does it, then the network reconverges on the surviving ARRs.
+fn failover_workload(
+    model: &Tier1Model,
+    n_aps: usize,
+    minutes: u64,
+    rate: f64,
+    seed: u64,
+    threads: usize,
+) -> Measured {
+    let opts = SpecOptions {
+        mrai_us: 0,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(model, n_aps, 2, &opts));
+    let mut sim = abrr::build_sim(spec.clone());
+    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
+    let settle = RunLimits {
+        max_events: u64::MAX,
+        max_time: SETTLE_BUDGET_US,
+    };
+    let out1 = run_sim(&mut sim, settle, threads);
+    let cfg = ChurnConfig {
+        seed,
+        duration_us: minutes * 60_000_000,
+        events_per_sec: rate,
+        ..ChurnConfig::default()
+    };
+    let t0 = sim.now();
+    regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
+    let mut sched = FaultSchedule::new(seed);
+    sched.push(
+        t0 + cfg.duration_us / 2,
+        FaultKind::ArrFailure {
+            arr: spec.all_arrs()[0],
+        },
+    );
+    compile(&sched, &spec, &mut sim).expect("schedule compiles");
+    let out2 = run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: t0 + cfg.duration_us + SETTLE_BUDGET_US,
+        },
+        threads,
+    );
+    Measured {
+        events: out1.events + out2.events,
+        quiesced: out2.quiesced,
+        sim_end_us: out2.end_time,
+        intern: bgp_types::intern::stats(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload = args.map_get("workload").unwrap_or("churn").to_string();
+    let threads = args.threads();
+    let seed: u64 = args.get("seed", Tier1Config::default().seed);
+    let n_aps: usize = args.get("aps", 8);
+    let minutes: u64 = args.get("minutes", 5);
+    let rate: f64 = args.get("rate", 2.0);
+    let label = args.map_get("label").unwrap_or("optimized").to_string();
+    let cfg = Tier1Config {
+        seed,
+        n_prefixes: args.get("prefixes", 1_000),
+        ..Tier1Config::default()
+    };
+    let n_prefixes = cfg.n_prefixes;
+    let model = Tier1Model::generate(cfg);
+
+    let t = Instant::now();
+    let m = match workload.as_str() {
+        "failover" => failover_workload(&model, n_aps, minutes, rate, seed, threads),
+        "churn" => churn_workload(&model, n_aps, minutes, rate, threads),
+        other => panic!("unknown --workload {other} (expected churn|failover)"),
+    };
+    let wall = t.elapsed();
+
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let eps = m.events as f64 / wall.as_secs_f64().max(1e-9);
+    let istats = m.intern;
+    let json = format!(
+        "{{\"workload\":\"{workload}\",\"label\":\"{label}\",\"threads\":{threads},\
+         \"prefixes\":{n_prefixes},\"aps\":{n_aps},\"minutes\":{minutes},\"seed\":{seed},\
+         \"wall_ms\":{wall_ms:.1},\"events\":{events},\"events_per_sec\":{eps:.0},\
+         \"peak_rss_kb\":{rss},\"quiesced\":{quiesced},\"sim_end_us\":{sim_end},\
+         \"intern_hits\":{ih},\"intern_misses\":{im},\"intern_entries\":{ie}}}",
+        events = m.events,
+        rss = peak_rss_kb(),
+        quiesced = m.quiesced,
+        sim_end = m.sim_end_us,
+        ih = istats.hits,
+        im = istats.misses,
+        ie = istats.entries,
+    );
+    println!("{json}");
+    if let Some(path) = args.map_get("out") {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open --out file");
+        writeln!(f, "{json}").expect("append json line");
+    }
+}

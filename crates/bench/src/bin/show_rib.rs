@@ -46,7 +46,7 @@ fn main() {
             std::process::exit(2);
         }
     });
-    let (sim, out) = converge_snapshot(spec.clone(), &model, 1_000);
+    let (sim, out) = converge_snapshot(spec.clone(), &model, 1_000, args.threads());
     println!(
         "# converged: quiesced={} ({} events)\n",
         out.quiesced, out.events

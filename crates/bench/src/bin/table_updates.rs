@@ -37,6 +37,7 @@ fn main() {
     let rate: f64 = args.get("rate", 2.0);
     let mrai_secs: u64 = args.get("mrai-secs", 5);
     let rr_skew_secs: u64 = args.get("rr-skew-secs", 3);
+    let threads = args.threads();
     let churn_cfg = ChurnConfig {
         duration_us: minutes * 60_000_000,
         events_per_sec: rate,
@@ -62,11 +63,11 @@ fn main() {
     let ab_spec = Arc::new(specs::abrr_spec(&model, n_pops, 2, &opts));
     let arrs = ab_spec.all_arrs();
     let clients = model.routers.clone();
-    let (mut ab_sim, out) = converge_snapshot(ab_spec, &model, 1_000);
+    let (mut ab_sim, out) = converge_snapshot(ab_spec, &model, 1_000, threads);
     assert!(out.quiesced, "ABRR must converge");
     let arr_before = fleet_stats(&ab_sim, &arrs);
     let cl_before = fleet_stats(&ab_sim, &clients);
-    if !run_churn(&mut ab_sim, &model, &churn_cfg, 1).quiesced {
+    if !run_churn(&mut ab_sim, &model, &churn_cfg, 1, threads).quiesced {
         println!("# note: ABRR churn phase sampled while still churning (unexpected)");
     }
     let arr_d = counter_delta(&arr_before, &fleet_stats(&ab_sim, &arrs));
@@ -75,13 +76,13 @@ fn main() {
     // TBRR with #clusters = #PoPs, 2 TRRs each.
     let tb_spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
     let trrs = tb_spec.all_trrs();
-    let (mut tb_sim, out) = converge_snapshot(tb_spec, &model, 1_000);
+    let (mut tb_sim, out) = converge_snapshot(tb_spec, &model, 1_000, threads);
     if !out.quiesced {
         println!("# note: TBRR snapshot load did not quiesce (persistent oscillation)");
     }
     let trr_before = fleet_stats(&tb_sim, &trrs);
     let tcl_before = fleet_stats(&tb_sim, &clients);
-    if !run_churn(&mut tb_sim, &model, &churn_cfg, 1).quiesced {
+    if !run_churn(&mut tb_sim, &model, &churn_cfg, 1, threads).quiesced {
         println!("# note: TBRR churn phase sampled while still churning");
     }
     let trr_d = counter_delta(&trr_before, &fleet_stats(&tb_sim, &trrs));

@@ -57,6 +57,25 @@ impl Args {
     pub fn map_get(&self, key: &str) -> Option<&str> {
         self.map.get(key).map(|s| s.as_str())
     }
+
+    /// The `--threads` knob shared by every bench bin: `0` (default)
+    /// runs the sequential engine, `n >= 1` runs the deterministic
+    /// parallel engine on `n` workers (`1` = epoch engine inline —
+    /// useful for verifying the parallel path without concurrency).
+    pub fn threads(&self) -> usize {
+        self.get("threads", 0usize)
+    }
+}
+
+/// Runs `sim` under the engine selected by `threads` (see
+/// [`Args::threads`]). Both engines produce bit-identical results by
+/// construction; this helper exists so every bin exposes the same knob.
+pub fn run_sim(sim: &mut Sim<BgpNode>, limits: RunLimits, threads: usize) -> RunOutcome {
+    if threads == 0 {
+        sim.run(limits)
+    } else {
+        sim.run_parallel(threads, limits)
+    }
 }
 
 /// Aggregate over a fleet of RRs: min/avg/max of a per-node metric.
@@ -144,13 +163,18 @@ pub fn converge_snapshot(
     spec: Arc<NetworkSpec>,
     model: &Tier1Model,
     speedup: u64,
+    threads: usize,
 ) -> (Sim<BgpNode>, RunOutcome) {
     let mut sim = abrr::build_sim(spec);
     regen::replay(&mut sim, &churn::initial_snapshot(model), speedup);
-    let out = sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: SETTLE_BUDGET_US,
-    });
+    let out = run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: SETTLE_BUDGET_US,
+        },
+        threads,
+    );
     (sim, out)
 }
 
@@ -161,14 +185,19 @@ pub fn run_churn(
     model: &Tier1Model,
     cfg: &ChurnConfig,
     speedup: u64,
+    threads: usize,
 ) -> RunOutcome {
     let trace = churn::generate(model, cfg);
     let deadline = sim.now() + cfg.duration_us / speedup.max(1) + SETTLE_BUDGET_US;
     regen::replay(sim, &trace, speedup);
-    sim.run(RunLimits {
-        max_events: u64::MAX,
-        max_time: deadline,
-    })
+    run_sim(
+        sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: deadline,
+        },
+        threads,
+    )
 }
 
 /// Prints a standard experiment header (seed/scale provenance).

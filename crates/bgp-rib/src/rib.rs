@@ -8,8 +8,15 @@
 //! is shared by every RIB and in-flight message that references it —
 //! at experiment scale (tens of thousands of prefixes × dozens of
 //! routers) this is the difference between megabytes and gigabytes.
+//!
+//! Storage: per-prefix tables are [`FxHashMap`]s — prefix lookups and
+//! replacements dominate the churn hot path and need no order — while
+//! every API whose output order can reach an observable result
+//! ([`AdjRibIn::known_prefixes`], [`AdjRibIn::drop_peer`],
+//! [`AdjRibOut::iter_group`], [`LocRib::iter`]) sorts before returning,
+//! keeping the simulator bit-for-bit deterministic.
 
-use bgp_types::{Ipv4Prefix, PathAttributes, PathId, RouterId};
+use bgp_types::{FxHashMap, Ipv4Prefix, PathAttributes, PathId, RouterId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -33,7 +40,9 @@ fn normalize(mut set: PathSet) -> PathSet {
 /// session is the one-element special case.
 #[derive(Clone, Debug, Default)]
 pub struct AdjRibIn {
-    tables: BTreeMap<RouterId, BTreeMap<Ipv4Prefix, PathSet>>,
+    // Outer map stays ordered: `all_paths` iterates peers in id order
+    // and that order reaches the decision process's candidate list.
+    tables: BTreeMap<RouterId, FxHashMap<Ipv4Prefix, PathSet>>,
     entries: usize,
 }
 
@@ -90,12 +99,14 @@ impl AdjRibIn {
     }
 
     /// Drops everything learned from `peer` (session reset). Returns the
-    /// prefixes that were present.
+    /// prefixes that were present, sorted.
     pub fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
         match self.tables.remove(&peer) {
             Some(table) => {
                 self.entries -= table.values().map(|s| s.len()).sum::<usize>();
-                table.into_keys().collect()
+                let mut v: Vec<Ipv4Prefix> = table.into_keys().collect();
+                v.sort();
+                v
             }
             None => Vec::new(),
         }
@@ -156,14 +167,14 @@ impl AdjRibIn {
 /// [`bgp_types::PrefixTrie`].
 #[derive(Clone, Debug, Default)]
 pub struct LocRib<T> {
-    table: BTreeMap<Ipv4Prefix, T>,
+    table: FxHashMap<Ipv4Prefix, T>,
 }
 
 impl<T: Clone + PartialEq> LocRib<T> {
     /// Creates an empty Loc-RIB.
     pub fn new() -> Self {
         LocRib {
-            table: BTreeMap::new(),
+            table: FxHashMap::default(),
         }
     }
 
@@ -212,9 +223,13 @@ impl<T: Clone + PartialEq> LocRib<T> {
         self.table.is_empty()
     }
 
-    /// Iterates `(prefix, selection)` in prefix order.
+    /// Iterates `(prefix, selection)` in prefix order. Sorts a snapshot
+    /// of the keys — callers are audits, dumps and fingerprints, never
+    /// the per-update hot path.
     pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
-        self.table.iter()
+        let mut v: Vec<(&Ipv4Prefix, &T)> = self.table.iter().collect();
+        v.sort_by_key(|(p, _)| **p);
+        v.into_iter()
     }
 }
 
@@ -235,7 +250,7 @@ pub struct AdjRibOut {
 #[derive(Clone, Debug, Default)]
 struct GroupOut {
     members: Vec<RouterId>,
-    table: BTreeMap<Ipv4Prefix, PathSet>,
+    table: FxHashMap<Ipv4Prefix, PathSet>,
 }
 
 impl AdjRibOut {
@@ -319,12 +334,18 @@ impl AdjRibOut {
         self.groups.keys().copied()
     }
 
-    /// Iterates `(prefix, path set)` for one group.
+    /// Iterates `(prefix, path set)` for one group in prefix order —
+    /// this order reaches the wire during session resyncs, so it must
+    /// be deterministic.
     pub fn iter_group(&self, group: u32) -> impl Iterator<Item = (&Ipv4Prefix, &PathSet)> {
-        self.groups
+        let mut v: Vec<(&Ipv4Prefix, &PathSet)> = self
+            .groups
             .get(&group)
             .into_iter()
             .flat_map(|g| g.table.iter())
+            .collect();
+        v.sort_by_key(|(p, _)| **p);
+        v.into_iter()
     }
 
     /// Drops every stored route while keeping the group definitions: a

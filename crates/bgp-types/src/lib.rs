@@ -24,6 +24,8 @@
 
 pub mod asn;
 pub mod attrs;
+pub mod fxhash;
+pub mod intern;
 pub mod partition;
 pub mod prefix;
 pub mod route;
@@ -33,6 +35,8 @@ pub use asn::{AsPath, AsSegment, Asn};
 pub use attrs::{
     ClusterId, Community, ExtCommunity, LocalPref, Med, NextHop, Origin, OriginatorId,
 };
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{intern, intern_arc, InternStats};
 pub use partition::{ApId, ApMap, Partition};
 pub use prefix::{AddressRange, Ipv4Prefix, PrefixParseError};
 pub use route::{PathAttributes, PathId, Route, RouteSource, RouterId};

@@ -12,8 +12,8 @@ use crate::msg::{BgpMsg, ExternalEvent, Plane};
 use crate::spec::{AbrrLoopPrevention, Mode, NetworkSpec};
 use bgp_rib::{best_as_level, best_path, AdjRibIn, AdjRibOut, Candidate, LocRib, PathSet};
 use bgp_types::{
-    ApId, Asn, ClusterId, Ipv4Prefix, NextHop, OriginatorId, PathAttributes, PathId, RouteSource,
-    RouterId,
+    intern, ApId, Asn, ClusterId, FxHashMap, Ipv4Prefix, NextHop, OriginatorId, PathAttributes,
+    PathId, RouteSource, RouterId,
 };
 use netsim::{Ctx, Mrai, MraiVerdict, Protocol};
 use std::collections::{BTreeMap, BTreeSet};
@@ -87,8 +87,10 @@ pub struct BgpNode {
     my_trrs: Vec<RouterId>,
     /// Transition (§2.4): APs for which ABRR routes are accepted.
     accept_abrr: BTreeSet<ApId>,
-    /// eBGP Adj-RIB-In: prefix → (peer_addr → route).
-    ebgp_in: BTreeMap<Ipv4Prefix, BTreeMap<u32, EbgpRoute>>,
+    /// eBGP Adj-RIB-In: prefix → (peer_addr → route). The outer map is
+    /// hashed (hot per-update lookups); the inner stays ordered because
+    /// peer order reaches the decision process's candidate list.
+    ebgp_in: FxHashMap<Ipv4Prefix, BTreeMap<u32, EbgpRoute>>,
     /// Distinct eBGP session addresses ever seen (sessions outlive the
     /// routes they advertise; used for export accounting).
     ebgp_sessions: BTreeSet<u32>,
@@ -127,7 +129,7 @@ pub struct BgpNode {
     counters: UpdateCounters,
     /// Per-prefix best-route change counts (oscillation diagnostics:
     /// a prefix whose selection keeps flipping is oscillating).
-    selection_changes: BTreeMap<Ipv4Prefix, u64>,
+    selection_changes: FxHashMap<Ipv4Prefix, u64>,
     /// Runtime AP→ARR reassignments (paper §2.2: the assignment "can be
     /// changed when needed"). Overrides the spec's static assignment;
     /// treated as configuration, so it survives a crash-restart.
@@ -198,7 +200,7 @@ impl BgpNode {
             trr_clusters,
             my_trrs,
             accept_abrr,
-            ebgp_in: BTreeMap::new(),
+            ebgp_in: FxHashMap::default(),
             ebgp_sessions: BTreeSet::new(),
             local_prefixes: BTreeSet::new(),
             own_ever: BTreeSet::new(),
@@ -211,7 +213,7 @@ impl BgpNode {
             mrai: BTreeMap::new(),
             inbox: Vec::new(),
             counters: UpdateCounters::default(),
-            selection_changes: BTreeMap::new(),
+            selection_changes: FxHashMap::default(),
             arr_override: BTreeMap::new(),
         }
     }
@@ -327,9 +329,15 @@ impl BgpNode {
         self.selection_changes.get(prefix).copied().unwrap_or(0)
     }
 
-    /// Iterates per-prefix selection-change counts.
+    /// Iterates per-prefix selection-change counts, in prefix order.
     pub fn all_selection_changes(&self) -> impl Iterator<Item = (&Ipv4Prefix, u64)> {
-        self.selection_changes.iter().map(|(p, c)| (p, *c))
+        let mut v: Vec<(&Ipv4Prefix, u64)> = self
+            .selection_changes
+            .iter()
+            .map(|(p, c)| (p, *c))
+            .collect();
+        v.sort_by_key(|(p, _)| **p);
+        v.into_iter()
     }
 
     /// §3.2/§3.4 extension accessor: the best pre-installed backup exit
@@ -481,7 +489,7 @@ impl BgpNode {
         let mut v = Vec::new();
         if self.local_prefixes.contains(prefix) {
             v.push(Candidate {
-                attrs: Arc::new(PathAttributes::local(NextHop(self.id.0))),
+                attrs: intern(PathAttributes::local(NextHop(self.id.0))),
                 source: RouteSource::Local,
                 neighbor_id: self.id.0,
             });
@@ -681,13 +689,15 @@ impl BgpNode {
 
     /// Prepares a client's own best route for iBGP injection.
     fn prep_for_ibgp(&self, sel: &Selected) -> Arc<PathAttributes> {
-        let mut a = (*sel.attrs).clone();
-        if a.local_pref.is_none() {
-            a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
+        if sel.attrs.local_pref.is_some() {
+            // Already in iBGP form — share the existing allocation.
+            return sel.attrs.clone();
         }
+        let mut a = (*sel.attrs).clone();
+        a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
         // Next-hop-self was applied at eBGP ingestion; local routes
         // already point at us.
-        Arc::new(a)
+        intern(a)
     }
 
     /// Client-role receive: reduce multi-path sets to our single best
@@ -888,7 +898,7 @@ impl BgpNode {
                     }
                     AbrrLoopPrevention::None => {}
                 }
-                (PathId(a.originator_id.expect("set").0), Arc::new(a))
+                (PathId(a.originator_id.expect("set").0), intern(a))
             })
             .collect();
         for ap in self.arr_aps.clone() {
@@ -937,7 +947,7 @@ impl BgpNode {
         for cid in self.trr_clusters.iter().rev() {
             a.cluster_list.insert(0, ClusterId(*cid));
         }
-        Arc::new(a)
+        intern(a)
     }
 
     /// TRR advertisement per Table 1 (single-path) or Appendix A.3
@@ -1084,7 +1094,7 @@ impl BgpNode {
             let mut tbrr_cands = Vec::new();
             if self.local_prefixes.contains(&prefix) {
                 tbrr_cands.push(Candidate {
-                    attrs: Arc::new(PathAttributes::local(NextHop(self.id.0))),
+                    attrs: intern(PathAttributes::local(NextHop(self.id.0))),
                     source: RouteSource::Local,
                     neighbor_id: self.id.0,
                 });
@@ -1365,7 +1375,7 @@ impl Protocol for BgpNode {
                     peer_addr,
                     EbgpRoute {
                         peer_as,
-                        attrs: Arc::new(a),
+                        attrs: intern(a),
                     },
                 );
                 self.recompute(ctx, prefix);

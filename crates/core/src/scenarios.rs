@@ -79,15 +79,32 @@ impl Scenario {
         mode: Mode,
         max_events: u64,
     ) -> (netsim::Sim<crate::node::BgpNode>, netsim::RunOutcome) {
+        self.run_threaded(mode, max_events, 0)
+    }
+
+    /// Like [`Scenario::run`], but selecting the engine: `threads == 0`
+    /// runs the sequential event loop, `threads >= 1` the deterministic
+    /// parallel engine. Outcomes are identical either way.
+    pub fn run_threaded(
+        &self,
+        mode: Mode,
+        max_events: u64,
+        threads: usize,
+    ) -> (netsim::Sim<crate::node::BgpNode>, netsim::RunOutcome) {
         let spec = Arc::new(self.spec(mode));
         let mut sim = crate::spec::build_sim(spec);
         for (router, ev) in &self.feeds {
             sim.schedule_external(0, *router, ev.clone());
         }
-        let outcome = sim.run(netsim::RunLimits {
+        let limits = netsim::RunLimits {
             max_events,
             max_time: u64::MAX,
-        });
+        };
+        let outcome = if threads == 0 {
+            sim.run(limits)
+        } else {
+            sim.run_parallel(threads, limits)
+        };
         (sim, outcome)
     }
 }

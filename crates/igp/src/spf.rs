@@ -2,17 +2,22 @@
 //! oracle consumed by the BGP decision process.
 
 use crate::graph::Topology;
-use bgp_types::RouterId;
+use bgp_types::{FxHashMap, RouterId};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// The SPF tree rooted at one router: distances and first hops.
+///
+/// Lookups ([`SpfResult::distance`]) sit inside BGP decision step 6 —
+/// the hottest query in the whole simulator — so the reach table is a
+/// hash map; determinism comes from the Dijkstra tie-breaking, never
+/// from map iteration order.
 #[derive(Clone, Debug)]
 pub struct SpfResult {
     root: RouterId,
     /// distance and the first hop on the (deterministically chosen)
     /// shortest path from `root`.
-    reach: BTreeMap<RouterId, (u32, RouterId)>,
+    reach: FxHashMap<RouterId, (u32, RouterId)>,
 }
 
 impl SpfResult {
@@ -23,7 +28,7 @@ impl SpfResult {
     /// cascades from the heap's `(dist, router, prev)` ordering. This
     /// keeps every simulation run bit-reproducible.
     pub fn run(topo: &Topology, root: RouterId) -> SpfResult {
-        let mut reach: BTreeMap<RouterId, (u32, RouterId)> = BTreeMap::new();
+        let mut reach: FxHashMap<RouterId, (u32, RouterId)> = FxHashMap::default();
         // first_hop[r] = the neighbor of root used to reach r.
         let mut heap: BinaryHeap<Reverse<(u32, RouterId, RouterId)>> = BinaryHeap::new();
         // (dist, node, first_hop). Root's "first hop" is itself.
@@ -62,9 +67,11 @@ impl SpfResult {
         self.reach.get(&dst).map(|(_, f)| *f)
     }
 
-    /// All reachable routers.
+    /// All reachable routers, in id order.
     pub fn reachable(&self) -> impl Iterator<Item = RouterId> + '_ {
-        self.reach.keys().copied()
+        let mut v: Vec<RouterId> = self.reach.keys().copied().collect();
+        v.sort();
+        v.into_iter()
     }
 }
 
@@ -75,7 +82,7 @@ impl SpfResult {
 /// hop-by-hop next hops.
 #[derive(Clone, Debug)]
 pub struct IgpOracle {
-    trees: BTreeMap<RouterId, SpfResult>,
+    trees: FxHashMap<RouterId, SpfResult>,
 }
 
 impl IgpOracle {

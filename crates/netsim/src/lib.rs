@@ -14,11 +14,18 @@
 //! actor/message-passing structure of Tokio services, but synchronously:
 //! a single `(time, seq)`-ordered event heap, nodes as state machines
 //! implementing [`Protocol`], and all I/O expressed as messages.
+//!
+//! Two execution engines share that state: the sequential loop
+//! [`Sim::run`] and the conservative parallel engine
+//! [`Sim::run_parallel`] (see [`parallel`]), which drains each
+//! same-timestamp epoch across a worker pool and merges results in
+//! sequential order — bit-identical outputs, selectable per run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mrai;
+pub mod parallel;
 pub mod sim;
 
 pub use mrai::{Mrai, MraiVerdict};

@@ -1,0 +1,543 @@
+//! Deterministic parallel execution of the event loop.
+//!
+//! [`Sim::run_parallel`] drains the event queue one *epoch* at a time:
+//! the maximal run of same-timestamp events at the head of the queue
+//! whose handlers are pure per-node callbacks (message deliveries,
+//! timers, external injections). Events of one epoch are partitioned by
+//! target node and the per-node groups run concurrently on a worker
+//! pool; the emitted actions are then merged back **in the exact order
+//! the sequential engine would have produced them**, so every
+//! observable output — counters, RIB contents, fingerprints, audit
+//! results — is bit-identical to [`Sim::run`].
+//!
+//! # Why this is safe (the determinism argument)
+//!
+//! Within one simulated timestamp `t`, consider the pure events
+//! `e_1 < e_2 < … < e_k` (ordered by sequence id, exactly how the
+//! sequential loop processes them). Three facts make their callbacks
+//! order-independent:
+//!
+//! 1. **Callbacks only touch their own node.** A `Protocol` callback
+//!    receives `&mut self` and a [`Ctx`] that *collects* actions; it
+//!    cannot read or write another node, the session table, the event
+//!    queue, or the counters.
+//! 2. **Action application is deferred.** In the sequential engine the
+//!    actions of `e_i` are applied before `e_{i+1}` runs — but those
+//!    applications only mutate state no later callback at `t` can
+//!    observe: the heap (new events are at `t + latency`, or behind
+//!    every already-queued event at `t` in id order when latency is 0),
+//!    the `transmitted`/`dropped` counters, and the sequence counter.
+//! 3. **Same-node events stay ordered.** Events targeting one node are
+//!    handled by one worker task in ascending id order, preserving the
+//!    per-session FIFO and timer ordering the sequential engine
+//!    guarantees.
+//!
+//! Therefore running `e_1 … e_k` concurrently (grouped by node) and
+//! then applying their collected actions in ascending event order is
+//! *literally the same state transition* as the sequential loop: every
+//! `push` happens with the same `(time, id)` pair, every counter gets
+//! the same increments. Global events (session up/down, node crash and
+//! restart) mutate shared state — the session table and `down` set — so
+//! they terminate the epoch and run sequentially through the exact
+//! code path [`Sim::run`] uses.
+//!
+//! A note on lookahead: classic conservative parallel DES widens the
+//! window to `t + L` (L = minimum session latency) to batch more work.
+//! Here deliveries already cluster at identical timestamps — a peer
+//! group fan-out shares one send time and one latency — so the
+//! same-timestamp epoch captures the available parallelism while
+//! keeping the equivalence proof above two paragraphs instead of two
+//! pages, and bit-identical by construction.
+
+use crate::sim::{Action, Ctx, Event, Protocol, RunLimits, RunOutcome, Sim, Time};
+use bgp_types::RouterId;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// One event routed to a node within an epoch.
+enum NodeEvent<P: Protocol> {
+    Msg { from: RouterId, msg: P::Msg },
+    Timer { token: u64 },
+    External { ev: P::External },
+}
+
+/// The unit of work handed to a worker: one node plus all of its events
+/// in this epoch, in ascending event order. `pos` values index into the
+/// epoch's batch so the merge can restore global order.
+struct EpochTask<P: Protocol> {
+    slot: usize,
+    node_id: RouterId,
+    node: P,
+    events: Vec<(u32, NodeEvent<P>)>,
+}
+
+/// What a worker returns: the node (moved back), the actions of all its
+/// callbacks in one flat buffer (a single allocation per task instead
+/// of one per callback), and per-event `(pos, action count)` bounds.
+struct EpochResult<P: Protocol> {
+    slot: usize,
+    node_id: RouterId,
+    node: P,
+    actions: Vec<Action<P::Msg>>,
+    bounds: Vec<(u32, u32)>,
+}
+
+fn execute_task<P: Protocol>(now: Time, task: EpochTask<P>) -> EpochResult<P> {
+    let EpochTask {
+        slot,
+        node_id,
+        mut node,
+        events,
+    } = task;
+    let mut actions: Vec<Action<P::Msg>> = Vec::new();
+    let mut bounds = Vec::with_capacity(events.len());
+    for (pos, ev) in events {
+        let start = actions.len();
+        let mut ctx = Ctx::for_worker(now, node_id, actions);
+        match ev {
+            NodeEvent::Msg { from, msg } => node.on_message(&mut ctx, from, msg),
+            NodeEvent::Timer { token } => node.on_timer(&mut ctx, token),
+            NodeEvent::External { ev } => node.on_external(&mut ctx, ev),
+        }
+        actions = ctx.into_actions();
+        bounds.push((pos, (actions.len() - start) as u32));
+    }
+    EpochResult {
+        slot,
+        node_id,
+        node,
+        actions,
+        bounds,
+    }
+}
+
+fn is_global<P: Protocol>(ev: &Event<P>) -> bool {
+    matches!(
+        ev,
+        Event::SessionDown { .. }
+            | Event::SessionUp { .. }
+            | Event::NodeDown { .. }
+            | Event::NodeUp { .. }
+    )
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Runs the event loop on `threads` worker threads, producing
+    /// results bit-identical to [`Sim::run`] with the same limits.
+    ///
+    /// `threads <= 1` executes the same epoch/merge machinery inline
+    /// (useful for verifying the engine without concurrency).
+    pub fn run_parallel(&mut self, threads: usize, limits: RunLimits) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send,
+        P::External: Send,
+    {
+        if threads <= 1 {
+            return self.run_epochs(limits, &mut |now, tasks| {
+                tasks.into_iter().map(|t| execute_task(now, t)).collect()
+            });
+        }
+        let (task_tx, task_rx) = mpsc::channel::<(Time, EpochTask<P>)>();
+        let task_rx = Mutex::new(task_rx);
+        let (res_tx, res_rx) = mpsc::channel::<EpochResult<P>>();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let res_tx = res_tx.clone();
+                let task_rx = &task_rx;
+                s.spawn(move || loop {
+                    let msg = task_rx.lock().expect("task queue poisoned").recv();
+                    match msg {
+                        Ok((now, task)) => {
+                            if res_tx.send(execute_task(now, task)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            let outcome = self.run_epochs(limits, &mut |now, tasks| {
+                let k = tasks.len();
+                for t in tasks {
+                    task_tx.send((now, t)).expect("worker pool hung up");
+                }
+                (0..k)
+                    .map(|_| res_rx.recv().expect("worker panicked"))
+                    .collect()
+            });
+            // Hang up so the workers' recv() errors and they exit.
+            drop(task_tx);
+            outcome
+        })
+    }
+
+    /// Convenience: [`Sim::run_parallel`] with default limits.
+    pub fn run_parallel_to_quiescence(&mut self, threads: usize) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send,
+        P::External: Send,
+    {
+        self.run_parallel(threads, RunLimits::default())
+    }
+
+    /// The epoch loop shared by the inline and pooled executors.
+    /// `exec` runs a set of tasks at simulated time `now` and returns
+    /// their results in any order.
+    fn run_epochs(
+        &mut self,
+        limits: RunLimits,
+        exec: &mut dyn FnMut(Time, Vec<EpochTask<P>>) -> Vec<EpochResult<P>>,
+    ) -> RunOutcome {
+        self.start();
+        let mut events = 0u64;
+        loop {
+            let Some(head) = self.heap.peek() else {
+                return RunOutcome {
+                    quiesced: true,
+                    events,
+                    end_time: self.now,
+                };
+            };
+            let at = head.at;
+            if events >= limits.max_events || at > limits.max_time {
+                return RunOutcome {
+                    quiesced: false,
+                    events,
+                    end_time: self.now,
+                };
+            }
+            if is_global(&head.ev) {
+                // Shared-state mutation: run one event sequentially on
+                // the same path as `Sim::run`.
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.now = at;
+                events += 1;
+                self.dispatch_event(entry.ev);
+                continue;
+            }
+            // Collect the maximal pure prefix at this timestamp,
+            // replicating the sequential engine's per-event drop
+            // bookkeeping (drops count as processed events).
+            self.now = at;
+            let mut batch: Vec<(RouterId, NodeEvent<P>)> = Vec::new();
+            while let Some(head) = self.heap.peek() {
+                if head.at != at || is_global(&head.ev) || events >= limits.max_events {
+                    break;
+                }
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                events += 1;
+                match entry.ev {
+                    Event::Deliver { from, to, msg } => {
+                        if self.down.contains(&to) {
+                            self.dropped += 1;
+                            continue;
+                        }
+                        if let Some(stats) = self.stats.get_mut(&to) {
+                            stats.received += 1;
+                        }
+                        batch.push((to, NodeEvent::Msg { from, msg }));
+                    }
+                    Event::Timer { node, token } => {
+                        if self.down.contains(&node) {
+                            continue;
+                        }
+                        batch.push((node, NodeEvent::Timer { token }));
+                    }
+                    Event::External { node, ev } => {
+                        if self.down.contains(&node) {
+                            self.dropped += 1;
+                            continue;
+                        }
+                        batch.push((node, NodeEvent::External { ev }));
+                    }
+                    _ => unreachable!("global event in pure prefix"),
+                }
+            }
+            let n = batch.len();
+            if n == 0 {
+                continue;
+            }
+            // Partition by node, preserving ascending event order
+            // within each task.
+            let mut slot_of: BTreeMap<RouterId, usize> = BTreeMap::new();
+            let mut tasks: Vec<EpochTask<P>> = Vec::new();
+            for (pos, (node_id, ev)) in batch.into_iter().enumerate() {
+                let slot = match slot_of.get(&node_id) {
+                    Some(&s) => s,
+                    None => {
+                        // A node can be absent only if a callback host
+                        // was never registered; mirror `with_node`'s
+                        // silent no-op in that case.
+                        let Some(node) = self.nodes.remove(&node_id) else {
+                            continue;
+                        };
+                        let s = tasks.len();
+                        tasks.push(EpochTask {
+                            slot: s,
+                            node_id,
+                            node,
+                            events: Vec::new(),
+                        });
+                        slot_of.insert(node_id, s);
+                        s
+                    }
+                };
+                tasks[slot].events.push((pos as u32, ev));
+            }
+            let k = tasks.len();
+            let results = exec(at, tasks);
+            assert_eq!(results.len(), k, "worker result missing");
+            // Re-key results by slot, hand the nodes back, and build
+            // the pos -> (slot, action count) index for the merge.
+            let mut per_pos: Vec<(u32, u32)> = vec![(0, 0); n];
+            let mut iters: Vec<Option<std::vec::IntoIter<Action<P::Msg>>>> =
+                (0..k).map(|_| None).collect();
+            let mut from_of: Vec<RouterId> = vec![RouterId(0); k];
+            for r in results {
+                for &(pos, count) in &r.bounds {
+                    per_pos[pos as usize] = (r.slot as u32 + 1, count);
+                }
+                self.nodes.insert(r.node_id, r.node);
+                from_of[r.slot] = r.node_id;
+                iters[r.slot] = Some(r.actions.into_iter());
+            }
+            // Merge: apply every callback's actions in ascending event
+            // order — the exact interleaving of the sequential loop, so
+            // sequence ids (and hence all future tie-breaks) match.
+            for &(slot1, count) in per_pos.iter() {
+                if slot1 == 0 {
+                    continue;
+                }
+                let slot = (slot1 - 1) as usize;
+                let from = from_of[slot];
+                let it = iters[slot].as_mut().expect("result slot unfilled");
+                for _ in 0..count {
+                    let action = it.next().expect("action bounds out of sync");
+                    self.apply_action(from, action);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NodeStats;
+
+    /// Echoes every received number minus one back to the sender; used
+    /// to generate deep same-timestamp fan-out across many nodes.
+    struct Gossip {
+        peers: Vec<RouterId>,
+        sum: u64,
+        log: Vec<(RouterId, u32)>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        type External = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: RouterId, msg: u32) {
+            self.sum += msg as u64;
+            self.log.push((from, msg));
+            if msg > 0 {
+                for &p in &self.peers {
+                    ctx.send(p, msg - 1);
+                }
+            }
+        }
+
+        fn on_external(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            if ev >= 100 {
+                // Start a same-instant self-timer cascade of length
+                // `ev - 100`.
+                ctx.set_timer(ctx.now(), (ev - 100) as u64);
+                return;
+            }
+            for &p in &self.peers {
+                ctx.send(p, ev);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<u32>, token: u64) {
+            self.sum += token;
+            // Same-timestamp self-timer chain exercises intra-epoch
+            // event creation.
+            if token > 0 {
+                ctx.set_timer(ctx.now(), token - 1);
+            }
+        }
+
+        fn on_session_down(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.log.push((peer, u32::MAX));
+        }
+
+        fn on_session_up(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.log.push((peer, u32::MAX - 1));
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Ctx<u32>) {
+            self.sum = 0;
+            self.log.clear();
+        }
+    }
+
+    fn ring(n: u32, latency_of: impl Fn(u32) -> Time) -> Sim<Gossip> {
+        let mut sim = Sim::new();
+        for i in 0..n {
+            let peers = vec![RouterId((i + 1) % n), RouterId((i + n - 1) % n)];
+            sim.add_node(
+                RouterId(i),
+                Gossip {
+                    peers,
+                    sum: 0,
+                    log: vec![],
+                },
+            );
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            sim.add_session(RouterId(i), RouterId(j), latency_of(i));
+        }
+        sim
+    }
+
+    fn fingerprint(sim: &Sim<Gossip>) -> (Vec<(RouterId, u64, Vec<(RouterId, u32)>)>, u64, Time) {
+        let nodes = sim
+            .nodes()
+            .map(|(id, g)| (id, g.sum, g.log.clone()))
+            .collect();
+        (nodes, sim.dropped_messages(), sim.now())
+    }
+
+    fn stats_of(sim: &Sim<Gossip>) -> Vec<(RouterId, NodeStats)> {
+        sim.nodes().map(|(id, _)| (id, sim.stats(id))).collect()
+    }
+
+    fn seed(sim: &mut Sim<Gossip>) {
+        sim.schedule_external(0, RouterId(0), 6);
+        sim.schedule_external(0, RouterId(3), 6);
+        sim.schedule_external(5, RouterId(1), 4);
+        // Faults mid-run: global events must interleave correctly.
+        sim.schedule_session_down(20, RouterId(0), RouterId(1));
+        sim.schedule_node_down(40, RouterId(2));
+        sim.schedule_node_up(60, RouterId(2));
+        sim.schedule_session_up(70, RouterId(0), RouterId(1), 10);
+        sim.schedule_external(80, RouterId(0), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_uniform_latency() {
+        // Uniform latency: large same-timestamp epochs.
+        let mut seq = ring(8, |_| 10);
+        seed(&mut seq);
+        let out_seq = seq.run_to_quiescence();
+
+        for threads in [1, 2, 8] {
+            let mut par = ring(8, |_| 10);
+            seed(&mut par);
+            let out_par = par.run_parallel(threads, RunLimits::default());
+            assert_eq!(out_seq, out_par, "outcome differs at {threads} threads");
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&par),
+                "state differs at {threads} threads"
+            );
+            assert_eq!(stats_of(&seq), stats_of(&par));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_skewed_latency() {
+        // Distinct latencies: epochs shrink to single events — the
+        // degenerate case must still match exactly.
+        let mut seq = ring(8, |i| 7 + 13 * (i as Time));
+        seed(&mut seq);
+        seq.run_to_quiescence();
+
+        let mut par = ring(8, |i| 7 + 13 * (i as Time));
+        seed(&mut par);
+        par.run_parallel(4, RunLimits::default());
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+        assert_eq!(stats_of(&seq), stats_of(&par));
+    }
+
+    #[test]
+    fn parallel_respects_event_limit_identically() {
+        let limits = RunLimits {
+            max_events: 37,
+            max_time: Time::MAX,
+        };
+        let mut seq = ring(6, |_| 5);
+        seed(&mut seq);
+        let out_seq = seq.run(limits);
+        assert!(!out_seq.quiesced);
+
+        let mut par = ring(6, |_| 5);
+        seed(&mut par);
+        let out_par = par.run_parallel(3, limits);
+        assert_eq!(out_seq, out_par);
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn parallel_respects_time_limit_identically() {
+        let limits = RunLimits {
+            max_events: u64::MAX,
+            max_time: 45,
+        };
+        let mut seq = ring(6, |_| 5);
+        seed(&mut seq);
+        let out_seq = seq.run(limits);
+
+        let mut par = ring(6, |_| 5);
+        seed(&mut par);
+        let out_par = par.run_parallel(3, limits);
+        assert_eq!(out_seq, out_par);
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn same_timestamp_timer_chains_match() {
+        // Self-timer cascades at a single instant interleaved with
+        // message traffic: events created *during* an epoch's merge
+        // must be drained at the same timestamp in id order.
+        let seed_timers = |sim: &mut Sim<Gossip>| {
+            sim.schedule_external(0, RouterId(0), 2);
+            sim.schedule_external(10, RouterId(1), 105); // cascade of 5 at t=10
+            sim.schedule_external(10, RouterId(2), 103); // cascade of 3 at t=10
+            sim.schedule_external(15, RouterId(1), 0);
+        };
+        let mut seq = ring(4, |_| 10);
+        seed_timers(&mut seq);
+        seq.run_to_quiescence();
+        assert!(seq.node(RouterId(1)).sum >= 5 + 4 + 3 + 2 + 1);
+
+        let mut par = ring(4, |_| 10);
+        seed_timers(&mut par);
+        par.run_parallel(8, RunLimits::default());
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn run_can_continue_after_run_parallel() {
+        // The engines share all state; interleaving them mid-stream
+        // must behave like one continuous run.
+        let mut a = ring(8, |_| 10);
+        seed(&mut a);
+        a.run_to_quiescence();
+
+        let mut b = ring(8, |_| 10);
+        seed(&mut b);
+        let limits = RunLimits {
+            max_events: 25,
+            max_time: Time::MAX,
+        };
+        b.run_parallel(4, limits);
+        b.run_to_quiescence();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -1,7 +1,7 @@
 //! The event loop, sessions, timers, and per-node statistics.
 
 use bgp_types::RouterId;
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Simulated time in microseconds.
@@ -49,7 +49,7 @@ pub struct Ctx<M> {
     actions: Vec<Action<M>>,
 }
 
-enum Action<M> {
+pub(crate) enum Action<M> {
     Send { to: RouterId, msg: M },
     SetTimer { at: Time, token: u64 },
 }
@@ -77,9 +77,20 @@ impl<M> Ctx<M> {
     pub fn set_timer(&mut self, at: Time, token: u64) {
         self.actions.push(Action::SetTimer { at, token });
     }
+
+    /// Builds a context for a parallel-epoch worker, reusing `actions`
+    /// as the collection buffer.
+    pub(crate) fn for_worker(now: Time, node: RouterId, actions: Vec<Action<M>>) -> Self {
+        Ctx { now, node, actions }
+    }
+
+    /// Consumes the context, returning the collected actions.
+    pub(crate) fn into_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
 }
 
-enum Event<P: Protocol> {
+pub(crate) enum Event<P: Protocol> {
     Deliver {
         from: RouterId,
         to: RouterId,
@@ -155,18 +166,55 @@ pub struct RunOutcome {
     pub end_time: Time,
 }
 
+/// A scheduled event: its firing time, a tie-breaking sequence id, and
+/// the payload carried inline. Earlier `(at, id)` pairs order first, so
+/// the `BinaryHeap` (a max-heap) gets a reversed comparison.
+///
+/// Carrying the payload in the heap entry (instead of a side
+/// `BTreeMap<u64, Event>` keyed by id) saves an ordered-map insert and
+/// remove per event — a measurable share of the event-loop cost at
+/// Tier-1 churn volumes.
+pub(crate) struct Entry<P: Protocol> {
+    pub(crate) at: Time,
+    pub(crate) id: u64,
+    pub(crate) ev: Event<P>,
+}
+
+impl<P: Protocol> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl<P: Protocol> Eq for Entry<P> {}
+
+impl<P: Protocol> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: Protocol> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the max-heap pops the earliest (at, id) first.
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
 /// The simulator: nodes, sessions, and the event heap.
 pub struct Sim<P: Protocol> {
-    nodes: BTreeMap<RouterId, P>,
-    sessions: BTreeMap<(RouterId, RouterId), Time>,
-    heap: BinaryHeap<Reverse<(Time, u64, u64)>>,
-    payloads: BTreeMap<u64, Event<P>>,
-    seq: u64,
-    now: Time,
-    stats: BTreeMap<RouterId, NodeStats>,
-    dropped: u64,
-    started: bool,
-    down: BTreeSet<RouterId>,
+    pub(crate) nodes: BTreeMap<RouterId, P>,
+    pub(crate) sessions: BTreeMap<(RouterId, RouterId), Time>,
+    pub(crate) heap: BinaryHeap<Entry<P>>,
+    pub(crate) seq: u64,
+    pub(crate) now: Time,
+    pub(crate) stats: BTreeMap<RouterId, NodeStats>,
+    pub(crate) dropped: u64,
+    pub(crate) started: bool,
+    pub(crate) down: BTreeSet<RouterId>,
+    /// Pooled action buffer reused across sequential callbacks so the
+    /// event loop does not allocate a fresh `Vec` per callback.
+    action_buf: Vec<Action<P::Msg>>,
 }
 
 impl<P: Protocol> Default for Sim<P> {
@@ -182,13 +230,13 @@ impl<P: Protocol> Sim<P> {
             nodes: BTreeMap::new(),
             sessions: BTreeMap::new(),
             heap: BinaryHeap::new(),
-            payloads: BTreeMap::new(),
             seq: 0,
             now: 0,
             stats: BTreeMap::new(),
             dropped: 0,
             started: false,
             down: BTreeSet::new(),
+            action_buf: Vec::new(),
         }
     }
 
@@ -224,22 +272,17 @@ impl<P: Protocol> Sim<P> {
     /// Discards queued `Deliver` events between `a` and `b` (either
     /// direction), counting them as dropped.
     fn drop_in_flight(&mut self, a: RouterId, b: RouterId) {
-        let doomed: Vec<u64> = self
-            .payloads
-            .iter()
-            .filter_map(|(&id, ev)| match ev {
-                Event::Deliver { from, to, .. }
-                    if (*from == a && *to == b) || (*from == b && *to == a) =>
-                {
-                    Some(id)
-                }
-                _ => None,
-            })
-            .collect();
-        self.dropped += doomed.len() as u64;
-        for id in doomed {
-            self.payloads.remove(&id);
-        }
+        let mut dropped = 0u64;
+        self.heap.retain(|e| match &e.ev {
+            Event::Deliver { from, to, .. }
+                if (*from == a && *to == b) || (*from == b && *to == a) =>
+            {
+                dropped += 1;
+                false
+            }
+            _ => true,
+        });
+        self.dropped += dropped;
     }
 
     /// Discards queued events involving `node`: deliveries to or from
@@ -247,21 +290,16 @@ impl<P: Protocol> Sim<P> {
     /// crash). External events survive — the outside feed does not die
     /// with the router.
     fn drop_node_events(&mut self, node: RouterId) {
-        let doomed: Vec<(u64, bool)> = self
-            .payloads
-            .iter()
-            .filter_map(|(&id, ev)| match ev {
-                Event::Deliver { from, to, .. } if *from == node || *to == node => Some((id, true)),
-                Event::Timer { node: n, .. } if *n == node => Some((id, false)),
-                _ => None,
-            })
-            .collect();
-        for (id, is_msg) in doomed {
-            self.payloads.remove(&id);
-            if is_msg {
-                self.dropped += 1;
+        let mut dropped = 0u64;
+        self.heap.retain(|e| match &e.ev {
+            Event::Deliver { from, to, .. } if *from == node || *to == node => {
+                dropped += 1;
+                false
             }
-        }
+            Event::Timer { node: n, .. } if *n == node => false,
+            _ => true,
+        });
+        self.dropped += dropped;
     }
 
     /// Whether a session between `a` and `b` exists.
@@ -330,8 +368,7 @@ impl<P: Protocol> Sim<P> {
     fn push(&mut self, at: Time, ev: Event<P>) {
         let id = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((at, id, id)));
-        self.payloads.insert(id, ev);
+        self.heap.push(Entry { at, id, ev });
     }
 
     /// Calls `on_start` on every node (once).
@@ -350,7 +387,8 @@ impl<P: Protocol> Sim<P> {
     pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
         self.start();
         let mut events = 0u64;
-        while let Some(&Reverse((at, _, id))) = self.heap.peek() {
+        while let Some(head) = self.heap.peek() {
+            let at = head.at;
             if events >= limits.max_events || at > limits.max_time {
                 return RunOutcome {
                     quiesced: false,
@@ -358,86 +396,87 @@ impl<P: Protocol> Sim<P> {
                     end_time: self.now,
                 };
             }
-            self.heap.pop();
-            // The payload may have been discarded by a session failure
-            // or crash after the heap entry was pushed.
-            let Some(ev) = self.payloads.remove(&id) else {
-                continue;
-            };
+            let entry = self.heap.pop().expect("peeked entry vanished");
             self.now = at;
             events += 1;
-            match ev {
-                Event::Deliver { from, to, msg } => {
-                    if self.down.contains(&to) {
-                        self.dropped += 1;
-                        continue;
-                    }
-                    if let Some(stats) = self.stats.get_mut(&to) {
-                        stats.received += 1;
-                    }
-                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
-                }
-                Event::Timer { node, token } => {
-                    if self.down.contains(&node) {
-                        continue;
-                    }
-                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
-                }
-                Event::External { node, ev } => {
-                    if self.down.contains(&node) {
-                        self.dropped += 1;
-                        continue;
-                    }
-                    self.with_node(node, |n, ctx| n.on_external(ctx, ev));
-                }
-                Event::SessionDown { a, b } => {
-                    if self.has_session(a, b) {
-                        self.remove_session(a, b);
-                        for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
-                            if !self.down.contains(&me) {
-                                self.with_node(me, |n, ctx| n.on_session_down(ctx, peer));
-                            }
-                        }
-                    }
-                }
-                Event::SessionUp { a, b, latency } => {
-                    if !self.down.contains(&a) && !self.down.contains(&b) && !self.has_session(a, b)
-                    {
-                        self.add_session(a, b, latency);
-                        for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
-                            self.with_node(me, |n, ctx| n.on_session_up(ctx, peer));
-                        }
-                    }
-                }
-                Event::NodeDown { node } => {
-                    if self.down.insert(node) {
-                        self.drop_node_events(node);
-                        let torn: Vec<(RouterId, RouterId)> = self
-                            .sessions
-                            .keys()
-                            .copied()
-                            .filter(|&(x, y)| x == node || y == node)
-                            .collect();
-                        for (x, y) in torn {
-                            self.sessions.remove(&(x, y));
-                            let peer = if x == node { y } else { x };
-                            if !self.down.contains(&peer) {
-                                self.with_node(peer, |n, ctx| n.on_session_down(ctx, node));
-                            }
-                        }
-                    }
-                }
-                Event::NodeUp { node } => {
-                    if self.down.remove(&node) {
-                        self.with_node(node, |n, ctx| n.on_restart(ctx));
-                    }
-                }
-            }
+            self.dispatch_event(entry.ev);
         }
         RunOutcome {
             quiesced: true,
             events,
             end_time: self.now,
+        }
+    }
+
+    /// Applies a single event at the current time. Shared by the
+    /// sequential loop and (for global events) the parallel engine in
+    /// [`crate::parallel`].
+    pub(crate) fn dispatch_event(&mut self, ev: Event<P>) {
+        match ev {
+            Event::Deliver { from, to, msg } => {
+                if self.down.contains(&to) {
+                    self.dropped += 1;
+                    return;
+                }
+                if let Some(stats) = self.stats.get_mut(&to) {
+                    stats.received += 1;
+                }
+                self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            Event::Timer { node, token } => {
+                if self.down.contains(&node) {
+                    return;
+                }
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            Event::External { node, ev } => {
+                if self.down.contains(&node) {
+                    self.dropped += 1;
+                    return;
+                }
+                self.with_node(node, |n, ctx| n.on_external(ctx, ev));
+            }
+            Event::SessionDown { a, b } => {
+                if self.has_session(a, b) {
+                    self.remove_session(a, b);
+                    for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
+                        if !self.down.contains(&me) {
+                            self.with_node(me, |n, ctx| n.on_session_down(ctx, peer));
+                        }
+                    }
+                }
+            }
+            Event::SessionUp { a, b, latency } => {
+                if !self.down.contains(&a) && !self.down.contains(&b) && !self.has_session(a, b) {
+                    self.add_session(a, b, latency);
+                    for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
+                        self.with_node(me, |n, ctx| n.on_session_up(ctx, peer));
+                    }
+                }
+            }
+            Event::NodeDown { node } => {
+                if self.down.insert(node) {
+                    self.drop_node_events(node);
+                    let torn: Vec<(RouterId, RouterId)> = self
+                        .sessions
+                        .keys()
+                        .copied()
+                        .filter(|&(x, y)| x == node || y == node)
+                        .collect();
+                    for (x, y) in torn {
+                        self.sessions.remove(&(x, y));
+                        let peer = if x == node { y } else { x };
+                        if !self.down.contains(&peer) {
+                            self.with_node(peer, |n, ctx| n.on_session_down(ctx, node));
+                        }
+                    }
+                }
+            }
+            Event::NodeUp { node } => {
+                if self.down.remove(&node) {
+                    self.with_node(node, |n, ctx| n.on_restart(ctx));
+                }
+            }
         }
     }
 
@@ -447,32 +486,44 @@ impl<P: Protocol> Sim<P> {
     }
 
     fn with_node(&mut self, id: RouterId, f: impl FnOnce(&mut P, &mut Ctx<P::Msg>)) {
+        // Reuse the pooled buffer instead of allocating per callback.
+        let mut buf = std::mem::take(&mut self.action_buf);
+        buf.clear();
         let mut ctx = Ctx {
             now: self.now,
             node: id,
-            actions: Vec::new(),
+            actions: buf,
         };
         // Temporarily remove the node so effects can be applied to self.
         let Some(mut node) = self.nodes.remove(&id) else {
+            self.action_buf = ctx.actions;
             return;
         };
         f(&mut node, &mut ctx);
         self.nodes.insert(id, node);
-        for action in ctx.actions {
-            match action {
-                Action::Send { to, msg } => {
-                    if let Some(&lat) = self.session_latency(id, to) {
-                        if let Some(stats) = self.stats.get_mut(&id) {
-                            stats.transmitted += 1;
-                        }
-                        self.push(self.now + lat, Event::Deliver { from: id, to, msg });
-                    } else {
-                        self.dropped += 1;
+        let mut actions = ctx.actions;
+        for action in actions.drain(..) {
+            self.apply_action(id, action);
+        }
+        self.action_buf = actions;
+    }
+
+    /// Applies one collected action emitted by node `from` at `self.now`.
+    /// Shared by [`Sim::with_node`] and the parallel-epoch merge.
+    pub(crate) fn apply_action(&mut self, from: RouterId, action: Action<P::Msg>) {
+        match action {
+            Action::Send { to, msg } => {
+                if let Some(&lat) = self.session_latency(from, to) {
+                    if let Some(stats) = self.stats.get_mut(&from) {
+                        stats.transmitted += 1;
                     }
+                    self.push(self.now + lat, Event::Deliver { from, to, msg });
+                } else {
+                    self.dropped += 1;
                 }
-                Action::SetTimer { at, token } => {
-                    self.push(at.max(self.now), Event::Timer { node: id, token });
-                }
+            }
+            Action::SetTimer { at, token } => {
+                self.push(at.max(self.now), Event::Timer { node: from, token });
             }
         }
     }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Scaling benchmark collector: runs the `scale` bin over both heavy
+# workloads (fig7-style churn, resilience-style ARR failover) across a
+# thread sweep and appends one JSON object per run to BENCH_<date>.json.
+#
+#   scripts/bench.sh [baseline-ref]
+#
+# With a git ref argument, also measures the *pre-optimization* engine:
+# the ref is checked out into a scratch worktree (.bench-baseline/),
+# scripts/scale_baseline.rs — a twin of the scale bin written against
+# the old bench API — is injected and built there, and its rows land in
+# the same JSON with "label":"baseline". The worktree is removed on
+# exit.
+#
+# Knobs (env): PREFIXES (default 1000), MINUTES (default 5),
+# THREADS (default "0 1 2 4 8"), OUT (default BENCH_$(date +%F).json).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIXES="${PREFIXES:-1000}"
+MINUTES="${MINUTES:-5}"
+THREADS="${THREADS:-0 1 2 4 8}"
+OUT="${OUT:-BENCH_$(date +%F).json}"
+
+echo "# building (release)..."
+cargo build --release -p abrr-bench --bin scale
+
+if [ "$#" -ge 1 ]; then
+    REF="$1"
+    WT=.bench-baseline
+    echo "# building baseline at $REF in $WT/ ..."
+    git worktree remove --force "$WT" 2>/dev/null || true
+    git worktree add --detach "$WT" "$REF"
+    trap 'git worktree remove --force "$WT"' EXIT
+    cp scripts/scale_baseline.rs "$WT/crates/bench/src/bin/scale.rs"
+    printf '\n[[bin]]\nname = "scale"\npath = "src/bin/scale.rs"\n' \
+        >>"$WT/crates/bench/Cargo.toml"
+    (cd "$WT" && cargo build --release -p abrr-bench --bin scale)
+    for wl in churn failover; do
+        echo "# baseline: $wl"
+        "$WT/target/release/scale" --workload "$wl" \
+            --prefixes "$PREFIXES" --minutes "$MINUTES" \
+            --label baseline --out "$OUT"
+    done
+fi
+
+for wl in churn failover; do
+    for t in $THREADS; do
+        echo "# optimized: $wl, threads=$t"
+        ./target/release/scale --workload "$wl" --threads "$t" \
+            --prefixes "$PREFIXES" --minutes "$MINUTES" \
+            --label optimized --out "$OUT"
+    done
+done
+
+echo "# wrote $OUT"

@@ -20,4 +20,13 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== engine determinism (sequential vs parallel 1/2/8)"
+cargo test -q -p faults --test parallel_determinism
+cargo test -q -p netsim parallel
+
+echo "== scale smoke (--threads 2, ~10 s)"
+cargo build --release -p abrr-bench --bin scale
+./target/release/scale --workload churn --threads 2 --prefixes 200 --minutes 1
+./target/release/scale --workload failover --threads 2 --prefixes 200 --minutes 1
+
 echo "CI OK"

@@ -1,0 +1,159 @@
+//! Baseline twin of `crates/bench/src/bin/scale.rs`, written against
+//! the pre-optimization bench API (3-argument `converge_snapshot`, no
+//! `run_sim`, no interner). `scripts/bench.sh <ref>` copies this file
+//! into a scratch worktree of `<ref>` and builds it there, so the
+//! baseline rows in `BENCH_<date>.json` come from actually running the
+//! old engine on the identical workload — not from a remembered number.
+//!
+//! Keep the workload construction in lockstep with scale.rs: same spec,
+//! snapshot, churn config, and fault schedule, or the comparison is
+//! meaningless.
+
+use abrr::prelude::*;
+use abrr_bench::{Args, SETTLE_BUDGET_US};
+use faults::{compile, FaultKind, FaultSchedule};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use workload::specs::{self, SpecOptions};
+use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Measured {
+    events: u64,
+    quiesced: bool,
+    sim_end_us: u64,
+}
+
+fn churn_workload(model: &Tier1Model, n_aps: usize, minutes: u64, rate: f64) -> Measured {
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(model, n_aps, 2, &opts));
+    let mut sim = abrr::build_sim(spec);
+    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
+    let out1 = sim.run(RunLimits {
+        max_events: u64::MAX,
+        max_time: SETTLE_BUDGET_US,
+    });
+    let cfg = ChurnConfig {
+        duration_us: minutes * 60_000_000,
+        events_per_sec: rate,
+        ..ChurnConfig::default()
+    };
+    let deadline = sim.now() + cfg.duration_us + SETTLE_BUDGET_US;
+    regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
+    let out2 = sim.run(RunLimits {
+        max_events: u64::MAX,
+        max_time: deadline,
+    });
+    Measured {
+        events: out1.events + out2.events,
+        quiesced: out2.quiesced,
+        sim_end_us: out2.end_time,
+    }
+}
+
+fn failover_workload(
+    model: &Tier1Model,
+    n_aps: usize,
+    minutes: u64,
+    rate: f64,
+    seed: u64,
+) -> Measured {
+    let opts = SpecOptions {
+        mrai_us: 0,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(model, n_aps, 2, &opts));
+    let mut sim = abrr::build_sim(spec.clone());
+    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
+    let out1 = sim.run(RunLimits {
+        max_events: u64::MAX,
+        max_time: SETTLE_BUDGET_US,
+    });
+    let cfg = ChurnConfig {
+        seed,
+        duration_us: minutes * 60_000_000,
+        events_per_sec: rate,
+        ..ChurnConfig::default()
+    };
+    let t0 = sim.now();
+    regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
+    let mut sched = FaultSchedule::new(seed);
+    sched.push(
+        t0 + cfg.duration_us / 2,
+        FaultKind::ArrFailure {
+            arr: spec.all_arrs()[0],
+        },
+    );
+    compile(&sched, &spec, &mut sim).expect("schedule compiles");
+    let out2 = sim.run(RunLimits {
+        max_events: u64::MAX,
+        max_time: t0 + cfg.duration_us + SETTLE_BUDGET_US,
+    });
+    Measured {
+        events: out1.events + out2.events,
+        quiesced: out2.quiesced,
+        sim_end_us: out2.end_time,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload = args.map_get("workload").unwrap_or("churn").to_string();
+    let seed: u64 = args.get("seed", Tier1Config::default().seed);
+    let n_aps: usize = args.get("aps", 8);
+    let minutes: u64 = args.get("minutes", 5);
+    let rate: f64 = args.get("rate", 2.0);
+    let label = args.map_get("label").unwrap_or("baseline").to_string();
+    let cfg = Tier1Config {
+        seed,
+        n_prefixes: args.get("prefixes", 1_000),
+        ..Tier1Config::default()
+    };
+    let n_prefixes = cfg.n_prefixes;
+    let model = Tier1Model::generate(cfg);
+
+    let t = Instant::now();
+    let m = match workload.as_str() {
+        "failover" => failover_workload(&model, n_aps, minutes, rate, seed),
+        "churn" => churn_workload(&model, n_aps, minutes, rate),
+        other => panic!("unknown --workload {other} (expected churn|failover)"),
+    };
+    let wall = t.elapsed();
+
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let eps = m.events as f64 / wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\"workload\":\"{workload}\",\"label\":\"{label}\",\"threads\":0,\
+         \"prefixes\":{n_prefixes},\"aps\":{n_aps},\"minutes\":{minutes},\"seed\":{seed},\
+         \"wall_ms\":{wall_ms:.1},\"events\":{events},\"events_per_sec\":{eps:.0},\
+         \"peak_rss_kb\":{rss},\"quiesced\":{quiesced},\"sim_end_us\":{sim_end},\
+         \"intern_hits\":0,\"intern_misses\":0,\"intern_entries\":0}}",
+        events = m.events,
+        rss = peak_rss_kb(),
+        quiesced = m.quiesced,
+        sim_end = m.sim_end_us,
+    );
+    println!("{json}");
+    if let Some(path) = args.map_get("out") {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open --out file");
+        writeln!(f, "{json}").expect("append json line");
+    }
+}
