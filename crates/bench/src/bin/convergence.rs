@@ -16,30 +16,39 @@
 //!       [--mrai-secs S] [--prefixes N] [--probes K]`
 
 use abrr::prelude::*;
-use abrr_bench::{header, run_sim, Args};
+use abrr_bench::pipeline::Run;
+use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "mrai-secs",
+        "S",
+        "paced-run MRAI interval in seconds (default 5)",
+    ),
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 200)",
+    ),
+    flag(
+        "probes",
+        "K",
+        "probe announcements per configuration (default 8)",
+    ),
+];
+
 /// Mean probe-propagation latency (seconds) under background churn.
 fn probe_latency(
+    exp: &Experiment,
     spec: Arc<NetworkSpec>,
     model: &Tier1Model,
-    mrai_us: u64,
     n_probes: usize,
-    threads: usize,
 ) -> f64 {
-    let mut sim = abrr::build_sim(spec);
-    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
     // Sample at a time budget: single-path TBRR may not quiesce.
-    run_sim(
-        &mut sim,
-        RunLimits {
-            max_events: u64::MAX,
-            max_time: abrr_bench::SETTLE_BUDGET_US,
-        },
-        threads,
-    );
+    let mut run: Run = exp.converge(spec, model);
 
     // Background churn keeps every session's MRAI interval busy with a
     // random phase.
@@ -48,8 +57,8 @@ fn probe_latency(
         events_per_sec: 6.0,
         ..ChurnConfig::default()
     };
-    let t0 = sim.now();
-    regen::replay(&mut sim, &churn::generate(model, &churn_cfg), 1);
+    let t0 = run.now();
+    regen::replay(&mut run.sim, &churn::generate(model, &churn_cfg), 1);
 
     let mut total = 0.0f64;
     for k in 0..n_probes {
@@ -61,7 +70,7 @@ fn probe_latency(
         let prefix = Ipv4Prefix::new(0x0800_0000 + ((k as u32) << 16), 16);
         let border = model.routers[k % model.routers.len()];
         let t_probe = t0 + 10_000_000 + (k as u64) * 20_000_000;
-        sim.schedule_external(
+        run.sim.schedule_external(
             t_probe,
             border,
             ExternalEvent::EbgpAnnounce {
@@ -80,18 +89,11 @@ fn probe_latency(
         let mut horizon = t_probe;
         while t_done.is_none() {
             horizon += slice;
-            run_sim(
-                &mut sim,
-                RunLimits {
-                    max_events: u64::MAX,
-                    max_time: horizon,
-                },
-                threads,
-            );
+            run.advance_to(horizon);
             let all_know = model
                 .routers
                 .iter()
-                .all(|r| sim.node(*r).selected(&prefix).is_some());
+                .all(|r| run.sim.node(*r).selected(&prefix).is_some());
             if all_know {
                 t_done = Some(horizon);
             }
@@ -101,23 +103,25 @@ fn probe_latency(
             );
         }
         total += (t_done.unwrap() - t_probe) as f64 / 1e6;
-        let _ = mrai_us;
     }
     total / n_probes as f64
 }
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse("convergence", FLAGS);
     let mrai_secs: u64 = args.get("mrai-secs", 5);
     let n_probes: usize = args.get("probes", 8);
-    let threads = args.threads();
-    let cfg = Tier1Config {
-        n_prefixes: args.get("prefixes", 200),
-        n_pops: 6,
-        routers_per_pop: 4,
-        ..Tier1Config::default()
-    };
-    header(
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 200,
+            n_pops: 6,
+            routers_per_pop: 4,
+            ..Tier1Config::default()
+        },
+    );
+    let exp = Experiment::start(
+        &args,
         "§3.5 — convergence: probe latency under churn, MRAI x iBGP hops",
         &format!("MRAI={mrai_secs}s, {n_probes} probes, background churn randomizes MRAI phases"),
     );
@@ -129,18 +133,16 @@ fn main() {
             ..Default::default()
         };
         let ab = probe_latency(
+            &exp,
             Arc::new(specs::abrr_spec(&model, 6, 2, &opts)),
             &model,
-            mrai_us,
             n_probes,
-            threads,
         );
         let tb = probe_latency(
+            &exp,
             Arc::new(specs::tbrr_spec(&model, 2, false, &opts)),
             &model,
-            mrai_us,
             n_probes,
-            threads,
         );
         (ab, tb)
     };

@@ -6,7 +6,9 @@
 
 use abrr::prelude::*;
 use abrr::scenarios::{self, Scenario};
-use abrr_bench::{header, Args};
+use abrr_bench::{header, Args, FlagSpec};
+
+const FLAGS: &[FlagSpec] = &[];
 
 const OSC_BUDGET: u64 = 100_000;
 
@@ -24,7 +26,7 @@ fn verdict(s: &Scenario, mode: Mode, threads: usize) -> String {
 }
 
 fn main() {
-    let threads = Args::parse().threads();
+    let threads = Args::parse("correctness", FLAGS).threads();
     header(
         "§2.3 — oscillation / loop / efficiency audit",
         "gadgets: RFC3345-style MED oscillation; cyclic-IGP topology oscillation",

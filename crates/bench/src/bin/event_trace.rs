@@ -13,25 +13,44 @@
 //!       [--prefixes N] [--events K] [--rpp R]`
 
 use abrr::ExternalEvent;
-use abrr_bench::{converge_snapshot, counter_delta, fleet_stats, header, Args};
+use abrr_bench::pipeline::{col, f, lcol, t, Table};
+use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec};
 use bgp_types::Med;
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::tier1::PrefixKind;
 use workload::{Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag("seed", "S", "workload RNG seed"),
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 300)",
+    ),
+    flag("pops", "P", "PoPs in the topology (default 13)"),
+    flag("rpp", "R", "routers per PoP (default 24)"),
+    flag(
+        "events",
+        "K",
+        "isolated routing events to inject (default 10)",
+    ),
+];
+
 fn main() {
-    let args = Args::parse();
-    let cfg = Tier1Config {
-        seed: args.get("seed", Tier1Config::default().seed),
-        n_prefixes: args.get("prefixes", 300),
-        n_pops: args.get("pops", 13),
-        routers_per_pop: args.get("rpp", 24),
-        ..Tier1Config::default()
-    };
+    let args = Args::parse("event_trace", FLAGS);
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 300,
+            n_pops: 13,
+            routers_per_pop: 24,
+            ..Tier1Config::default()
+        },
+    );
     let k_events: usize = args.get("events", 10);
-    let threads = args.threads();
-    header(
+    let exp = Experiment::start(
+        &args,
         "§4.2 event microscope — per-routing-event update costs",
         &format!(
             "seed={} prefixes={} pops={} routers/pop={} events={}",
@@ -54,10 +73,15 @@ fn main() {
         ..Default::default()
     };
 
-    println!(
-        "\n{:<6} {:>12} {:>12} {:>14} {:>16} {:>16}",
-        "scheme", "RR gen/ev", "RR tx/ev", "RR bytes/ev", "client rx/ev", "client rx/node/ev"
-    );
+    let table = Table::new(vec![
+        lcol("scheme", 6),
+        col("RR gen/ev", 12),
+        col("RR tx/ev", 12),
+        col("RR bytes/ev", 14),
+        col("client rx/ev", 16),
+        col("client rx/node/ev", 16),
+    ]);
+    table.header();
     for (name, spec) in [
         (
             "ABRR",
@@ -71,12 +95,12 @@ fn main() {
             spec.all_trrs()
         };
         let spec = Arc::new(spec);
-        let (mut sim, _) = converge_snapshot(spec.clone(), &model, 1_000, threads);
-        let rr_b = fleet_stats(&sim, &rrs);
-        let cl_b = fleet_stats(&sim, &model.routers);
+        let mut run = exp.converge(spec.clone(), &model);
+        let rr_w = run.window(&rrs);
+        let cl_w = run.window(&model.routers);
         for (e, plan) in plans.iter().enumerate() {
             let peer_as = plan.routes[0].peer_as;
-            let t0 = sim.now() + 1_000_000;
+            let t0 = run.now() + 1_000_000;
             for (i, route) in plan
                 .routes
                 .iter()
@@ -89,7 +113,7 @@ fn main() {
                     attrs.as_path = attrs.as_path.prepend(peer_as);
                 }
                 attrs.med = Some(Med((e % 2) as u32));
-                sim.schedule_external(
+                run.sim.schedule_external(
                     t0 + (i as u64) * 30_000,
                     route.router,
                     ExternalEvent::EbgpAnnounce {
@@ -101,27 +125,19 @@ fn main() {
                 );
             }
             // Let each event fully settle before the next (isolation).
-            abrr_bench::run_sim(
-                &mut sim,
-                netsim::RunLimits {
-                    max_events: u64::MAX,
-                    max_time: t0 + 60_000_000,
-                },
-                threads,
-            );
+            run.advance_to(t0 + 60_000_000);
         }
-        let rr_d = counter_delta(&rr_b, &fleet_stats(&sim, &rrs));
-        let cl_d = counter_delta(&cl_b, &fleet_stats(&sim, &model.routers));
+        let rr_d = rr_w.delta(&run);
+        let cl_d = cl_w.delta(&run);
         let k = plans.len() as f64;
-        println!(
-            "{:<6} {:>12.1} {:>12.0} {:>14.0} {:>16.0} {:>16.2}",
-            name,
-            rr_d.generated as f64 / k,
-            rr_d.transmitted as f64 / k,
-            rr_d.bytes_transmitted as f64 / k,
-            cl_d.received as f64 / k,
-            cl_d.received as f64 / k / model.routers.len() as f64,
-        );
+        table.row(&[
+            t(name),
+            f(rr_d.generated as f64 / k, 1),
+            f(rr_d.transmitted as f64 / k, 0),
+            f(rr_d.bytes_transmitted as f64 / k, 0),
+            f(cl_d.received as f64 / k, 0),
+            f(cl_d.received as f64 / k / model.routers.len() as f64, 2),
+        ]);
     }
     println!("\n# Paper mechanisms shown: ARR generations per event ≈ 2 (one per owning ARR,");
     println!("# batched); TRR generations per event ≈ 10-40 (every affected cluster re-decides);");

@@ -6,17 +6,30 @@
 //! Run: `cargo run --release -p abrr-bench --bin fig3 [--prefixes N]
 //! [--seed S] [--samples K]`
 
-use abrr_bench::{header, Args};
+use abrr_bench::pipeline::{col, f, t, u, Table};
+use abrr_bench::{flag, header, tier1_config, Args, FlagSpec};
 use analysis::BalRegression;
 use workload::{Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 4000)",
+    ),
+    flag("seed", "S", "workload RNG seed"),
+    flag("samples", "K", "peer-AS subsets sampled per x (default 5)"),
+];
+
 fn main() {
-    let args = Args::parse();
-    let cfg = Tier1Config {
-        seed: args.get("seed", Tier1Config::default().seed),
-        n_prefixes: args.get("prefixes", 4_000),
-        ..Tier1Config::default()
-    };
+    let args = Args::parse("fig3", FLAGS);
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 4_000,
+            ..Tier1Config::default()
+        },
+    );
     let samples: usize = args.get("samples", 5);
     header(
         "Figure 3 — best AS-level routes per prefix vs #peer ASes",
@@ -29,12 +42,14 @@ fn main() {
     let xs: Vec<usize> = (0..=cfg.n_peer_ases).step_by(2).collect();
     let rows = model.fig3_curve(&xs, samples);
 
-    println!(
-        "{:>10} {:>16} {:>14}",
-        "#PeerASes", "PeerASesOnly", "AllSources"
-    );
+    let table = Table::new(vec![
+        col("#PeerASes", 10),
+        col("PeerASesOnly", 16),
+        col("AllSources", 14),
+    ]);
+    table.row(&[t("#PeerASes"), t("PeerASesOnly"), t("AllSources")]);
     for (x, peer_only, all) in &rows {
-        println!("{x:>10} {peer_only:>16.2} {all:>14.2}");
+        table.row(&[u(*x as u64), f(*peer_only, 2), f(*all, 2)]);
     }
 
     // Fit the regression to the All Sources curve, as §3.1 does.

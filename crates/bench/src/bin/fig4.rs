@@ -11,26 +11,15 @@
 //!
 //! Run: `cargo run --release -p abrr-bench --bin fig4`
 
-use abrr_bench::header;
-use analysis::{sweep, BalRegression, Metric, Params};
+use abrr_bench::pipeline::{print_panel, rib_panels};
+use abrr_bench::{header, Args, FlagSpec};
+use analysis::{BalRegression, Metric};
 
-fn print_panel(title: &str, rows: &[analysis::SweepRow]) {
-    println!("\n## {title}");
-    println!(
-        "{:>10} {:>14} {:>14} {:>14}",
-        "x", "ABRR", "TBRR", "TBRR-multi"
-    );
-    for r in rows {
-        println!(
-            "{:>10.0} {:>14.0} {:>14.0} {:>14.0}",
-            r.x, r.abrr, r.tbrr, r.tbrr_multi
-        );
-    }
-}
+const FLAGS: &[FlagSpec] = &[];
 
 fn main() {
+    let _args = Args::parse("fig4", FLAGS);
     let f = BalRegression::PAPER;
-    let base = Params::paper_default(f.eval(30.0));
     header(
         "Figure 4 — # RIB-In entries of an ARR/TRR (analytical)",
         &format!(
@@ -38,45 +27,9 @@ fn main() {
             f.eval(30.0)
         ),
     );
-
-    // (a) number of routers: the expressions are router-count-free.
-    let rows = sweep(
-        base,
-        &[500.0, 1000.0, 2000.0, 4000.0],
-        Metric::RibIn,
-        |_, _| {},
-    );
-    print_panel("(a) # routers (RIB sizes are independent of it)", &rows);
-
-    // (b) number of APs/clusters, redundancy held at 2 RRs each.
-    let rows = sweep(
-        base,
-        &[5.0, 10.0, 25.0, 50.0, 100.0, 200.0],
-        Metric::RibIn,
-        |p, x| {
-            p.partitions = x;
-            p.rrs = 2.0 * x;
-        },
-    );
-    print_panel("(b) # APs / clusters", &rows);
-
-    // (c) RRs per AP/cluster (the redundancy factor).
-    let rows = sweep(base, &[1.0, 2.0, 3.0, 4.0, 6.0], Metric::RibIn, |p, x| {
-        p.rrs = x * p.partitions;
-    });
-    print_panel("(c) # ARRs/TRRs per AP/cluster", &rows);
-
-    // (d) peer ASes → #BAL via the regression.
-    let rows = sweep(
-        base,
-        &[5.0, 10.0, 20.0, 30.0, 40.0],
-        Metric::RibIn,
-        |p, x| {
-            p.bal = f.eval(x);
-        },
-    );
-    print_panel("(d) # peer ASes", &rows);
-
+    for panel in rib_panels(Metric::RibIn, false) {
+        print_panel(&panel);
+    }
     println!(
         "\nTakeaway check: ABRR < TBRR for all panels above — the paper's §3.2 primary takeaway."
     );

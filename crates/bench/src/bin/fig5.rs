@@ -5,31 +5,15 @@
 //!
 //! Run: `cargo run --release -p abrr-bench --bin fig5`
 
-use abrr_bench::header;
-use analysis::{sweep, BalRegression, Metric, Params};
+use abrr_bench::pipeline::{print_panel, rib_panels};
+use abrr_bench::{header, Args, FlagSpec};
+use analysis::{BalRegression, Metric};
 
-fn print_panel(title: &str, rows: &[analysis::SweepRow], truncate_tbrr_after: Option<f64>) {
-    println!("\n## {title}");
-    println!(
-        "{:>10} {:>14} {:>14} {:>14}",
-        "x", "ABRR", "TBRR", "TBRR-multi"
-    );
-    for r in rows {
-        let show_tbrr = truncate_tbrr_after.map(|t| r.x <= t).unwrap_or(true);
-        if show_tbrr {
-            println!(
-                "{:>10.0} {:>14.0} {:>14.0} {:>14.0}",
-                r.x, r.abrr, r.tbrr, r.tbrr_multi
-            );
-        } else {
-            println!("{:>10.0} {:>14.0} {:>14} {:>14}", r.x, r.abrr, "-", "-");
-        }
-    }
-}
+const FLAGS: &[FlagSpec] = &[];
 
 fn main() {
+    let _args = Args::parse("fig5", FLAGS);
     let f = BalRegression::PAPER;
-    let base = Params::paper_default(f.eval(30.0));
     header(
         "Figure 5 — # RIB-Out entries of an ARR/TRR (analytical)",
         &format!(
@@ -37,48 +21,8 @@ fn main() {
             f.eval(30.0)
         ),
     );
-
-    let rows = sweep(
-        base,
-        &[500.0, 1000.0, 2000.0, 4000.0],
-        Metric::RibOut,
-        |_, _| {},
-    );
-    print_panel(
-        "(a) # routers (RIB sizes are independent of it)",
-        &rows,
-        None,
-    );
-
-    let rows = sweep(
-        base,
-        &[5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0],
-        Metric::RibOut,
-        |p, x| {
-            p.partitions = x;
-            p.rrs = 2.0 * x;
-        },
-    );
-    print_panel(
-        "(b) # APs / clusters (TBRR truncated at 100 clusters)",
-        &rows,
-        Some(100.0),
-    );
-
-    let rows = sweep(base, &[1.0, 2.0, 3.0, 4.0, 6.0], Metric::RibOut, |p, x| {
-        p.rrs = x * p.partitions;
-    });
-    print_panel("(c) # ARRs/TRRs per AP/cluster", &rows, None);
-
-    let rows = sweep(
-        base,
-        &[5.0, 10.0, 20.0, 30.0, 40.0],
-        Metric::RibOut,
-        |p, x| {
-            p.bal = f.eval(x);
-        },
-    );
-    print_panel("(d) # peer ASes", &rows, None);
-
+    for panel in rib_panels(Metric::RibOut, true) {
+        print_panel(&panel);
+    }
     println!("\nTakeaway check: ARR RIB-Out shrinks ~1/#APs (panel b) and stays ~an order of magnitude below TRR's.");
 }

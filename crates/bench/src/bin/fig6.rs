@@ -13,22 +13,55 @@
 //! Run: `cargo run --release -p abrr-bench --bin fig6
 //!       [--prefixes N] [--seed S] [--balanced]`
 
-use abrr_bench::{converge_snapshot, fleet_stats, header, Args};
+use abrr_bench::pipeline::{col, f, lcol, t, Table};
+use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec, MinAvgMax};
 use analysis::{BalRegression, Params};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 3000)",
+    ),
+    flag("seed", "S", "workload RNG seed"),
+    flag(
+        "balanced",
+        "",
+        "prefix-balanced APs instead of uniform address ranges",
+    ),
+];
+
+fn row(table: &Table, config: String, stats: (MinAvgMax, MinAvgMax), theory: analysis::RibSizes) {
+    let (rib_in, rib_out) = stats;
+    table.row(&[
+        t(config),
+        f(rib_in.min, 0),
+        f(rib_in.avg, 0),
+        f(rib_in.max, 0),
+        f(theory.rib_in(), 0),
+        t("|"),
+        f(rib_out.min, 0),
+        f(rib_out.avg, 0),
+        f(rib_out.max, 0),
+        f(theory.rib_out, 0),
+    ]);
+}
+
 fn main() {
-    let args = Args::parse();
-    let cfg = Tier1Config {
-        seed: args.get("seed", Tier1Config::default().seed),
-        n_prefixes: args.get("prefixes", 3_000),
-        ..Tier1Config::default()
-    };
+    let args = Args::parse("fig6", FLAGS);
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 3_000,
+            ..Tier1Config::default()
+        },
+    );
     let balanced = args.flag("balanced");
-    let threads = args.threads();
-    header(
+    let exp = Experiment::start(
+        &args,
         "Figure 6 — experimental RIB-In/RIB-Out of ARR/TRR vs analysis",
         &format!(
             "seed={} prefixes={} pops={} routers/pop={} balanced_aps={}",
@@ -45,18 +78,19 @@ fn main() {
         "# measured #BAL: {bal:.2} (peer prefixes), {bal_all:.2} (all prefixes); F_paper(25)={:.2}",
         BalRegression::PAPER.eval(25.0)
     );
-    println!(
-        "\n{:<18} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10}",
-        "config",
-        "in_min",
-        "in_avg",
-        "in_max",
-        "in_theory",
-        "out_min",
-        "out_avg",
-        "out_max",
-        "out_theory"
-    );
+    let table = Table::new(vec![
+        lcol("config", 18),
+        col("in_min", 9),
+        col("in_avg", 9),
+        col("in_max", 9),
+        col("in_theory", 10),
+        col("|", 1),
+        col("out_min", 9),
+        col("out_avg", 9),
+        col("out_max", 9),
+        col("out_theory", 10),
+    ]);
+    table.header();
 
     let opts = SpecOptions {
         mrai_us: 1_000_000,
@@ -67,27 +101,21 @@ fn main() {
     for n_aps in [1usize, 2, 4, 8, 16, 32] {
         let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
         let arrs = spec.all_arrs();
-        let (sim, out) = converge_snapshot(spec, &model, 1_000, threads);
-        assert!(out.quiesced, "ABRR #APs={n_aps} did not converge");
-        let _ = out;
-        let stats = fleet_stats(&sim, &arrs);
+        let run = exp
+            .converge(spec, &model)
+            .require_quiesced(&format!("ABRR #APs={n_aps}"));
+        let stats = abrr_bench::fleet_stats(&run.sim, &arrs);
         let theory = analysis::abrr(&Params {
             prefixes: n_prefixes,
             partitions: n_aps as f64,
             rrs: (2 * n_aps) as f64,
             bal: bal_all,
         });
-        println!(
-            "{:<18} {:>9.0} {:>9.0} {:>9.0} {:>10.0} | {:>9.0} {:>9.0} {:>9.0} {:>10.0}",
+        row(
+            &table,
             format!("ABRR #APs={n_aps}"),
-            stats.rib_in.min,
-            stats.rib_in.avg,
-            stats.rib_in.max,
-            theory.rib_in(),
-            stats.rib_out.min,
-            stats.rib_out.avg,
-            stats.rib_out.max,
-            theory.rib_out,
+            (stats.rib_in, stats.rib_out),
+            theory,
         );
     }
 
@@ -95,15 +123,15 @@ fn main() {
         let spec = Arc::new(specs::tbrr_spec(&model, 2, multipath, &opts));
         let trrs = spec.all_trrs();
         let n_clusters = spec.clusters.len();
-        let (sim, out) = converge_snapshot(spec, &model, 1_000, threads);
-        if !out.quiesced {
+        let run = exp.converge(spec, &model);
+        if !run.outcome.quiesced {
             println!(
                 "# note: TBRR multipath={multipath} did not quiesce (single-path TBRR can \
                  oscillate persistently); sizes sampled at t={}s",
-                out.end_time / 1_000_000
+                run.outcome.end_time / 1_000_000
             );
         }
-        let stats = fleet_stats(&sim, &trrs);
+        let stats = abrr_bench::fleet_stats(&run.sim, &trrs);
         let params = Params {
             prefixes: n_prefixes,
             partitions: n_clusters as f64,
@@ -115,20 +143,14 @@ fn main() {
         } else {
             analysis::tbrr(&params)
         };
-        println!(
-            "{:<18} {:>9.0} {:>9.0} {:>9.0} {:>10.0} | {:>9.0} {:>9.0} {:>9.0} {:>10.0}",
+        row(
+            &table,
             format!(
                 "TBRR{} #C={n_clusters}",
                 if multipath { "-multi" } else { "" }
             ),
-            stats.rib_in.min,
-            stats.rib_in.avg,
-            stats.rib_in.max,
-            theory.rib_in(),
-            stats.rib_out.min,
-            stats.rib_out.avg,
-            stats.rib_out.max,
-            theory.rib_out,
+            (stats.rib_in, stats.rib_out),
+            theory,
         );
     }
     println!(

@@ -35,11 +35,32 @@
 //!       [--slice-ms S]`
 
 use abrr::prelude::*;
-use abrr_bench::{counter_delta, fleet_stats, header, run_sim, Args, SETTLE_BUDGET_US};
+use abrr_bench::pipeline::{col, f, i, lcol, t, u, Run, Table};
+use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec};
 use faults::{compile, FaultKind, FaultSchedule, ResilienceProbe};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
+
+const FLAGS: &[FlagSpec] = &[
+    flag("seed", "N", "workload + fault RNG seed (default 11)"),
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 300)",
+    ),
+    flag("mrai-secs", "S", "MRAI interval in seconds (default 0)"),
+    flag(
+        "observe-secs",
+        "W",
+        "observation window length in seconds (default 20)",
+    ),
+    flag(
+        "slice-ms",
+        "S",
+        "blackhole sampling slice in milliseconds (default 250)",
+    ),
+];
 
 struct Scenario {
     name: &'static str,
@@ -77,56 +98,45 @@ fn schedule_kill(scn: &Scenario, seed: u64, at: netsim::Time, sim: &mut netsim::
     compile(&parsed, &scn.spec, sim).expect("schedule compiles");
 }
 
-/// Builds the scenario's sim and converges the initial snapshot.
-/// `quiesced` records whether it actually drained — single-path TBRR
-/// can oscillate persistently even without faults (§2.3), which makes
-/// its quiescence-based reconvergence time unmeasurable.
-fn converged(scn: &Scenario, model: &Tier1Model, threads: usize) -> (netsim::Sim<BgpNode>, bool) {
-    let mut sim = abrr::build_sim(scn.spec.clone());
-    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
-    let out = run_sim(
-        &mut sim,
-        RunLimits {
-            max_events: u64::MAX,
-            max_time: SETTLE_BUDGET_US,
-        },
-        threads,
-    );
-    (sim, out.quiesced)
+/// Everything except the victim.
+fn survivors(scn: &Scenario) -> Vec<RouterId> {
+    scn.spec
+        .all_nodes()
+        .into_iter()
+        .filter(|r| *r != scn.victim)
+        .collect()
 }
 
 /// Quiet failover: kill on an otherwise idle converged network and let
 /// it requiesce. Reconvergence is pure failure-absorption time.
-fn quiet_failover(scn: &Scenario, model: &Tier1Model, seed: u64, threads: usize, rep: &mut Report) {
-    let (mut sim, quiesced) = converged(scn, model, threads);
-    rep.baseline_quiesced = quiesced;
-    let survivors: Vec<RouterId> = scn
-        .spec
-        .all_nodes()
-        .into_iter()
-        .filter(|r| *r != scn.victim)
-        .collect();
-    let t_kill = sim.now() + 1_000_000;
-    schedule_kill(scn, seed, t_kill, &mut sim);
-    let before = fleet_stats(&sim, &survivors);
-    let out = run_sim(
-        &mut sim,
-        RunLimits {
-            max_events: u64::MAX,
-            max_time: t_kill + SETTLE_BUDGET_US,
-        },
-        threads,
-    );
-    let delta = counter_delta(&before, &fleet_stats(&sim, &survivors));
-    rep.quiet_reconverge_s = out.end_time.saturating_sub(t_kill) as f64 / 1e6;
-    rep.quiet_quiesced = out.quiesced;
+/// `baseline_quiesced` records whether the snapshot load drained —
+/// single-path TBRR can oscillate persistently even without faults
+/// (§2.3), which makes its quiescence-based reconvergence time
+/// unmeasurable.
+fn quiet_failover(
+    exp: &Experiment,
+    scn: &Scenario,
+    model: &Tier1Model,
+    seed: u64,
+    rep: &mut Report,
+) {
+    let mut run: Run = exp.converge(scn.spec.clone(), model);
+    rep.baseline_quiesced = run.outcome.quiesced;
+    let survivors = survivors(scn);
+    let t_kill = run.now() + 1_000_000;
+    schedule_kill(scn, seed, t_kill, &mut run.sim);
+    let window = run.window(&survivors);
+    run.advance_to(t_kill + abrr_bench::SETTLE_BUDGET_US);
+    let delta = window.delta(&run);
+    rep.quiet_reconverge_s = run.outcome.end_time.saturating_sub(t_kill) as f64 / 1e6;
+    rep.quiet_quiesced = run.outcome.quiesced;
     rep.quiet_generated = delta.generated;
     rep.quiet_transmitted = delta.transmitted;
 
     // Post-failover audit on the quiet run: every surviving router must
     // have a live route for every still-reachable prefix.
-    let mut probe = ResilienceProbe::new(sim.now());
-    probe.sample(&sim, &scn.spec, true);
+    let mut probe = ResilienceProbe::new(run.now());
+    probe.sample(&run.sim, &scn.spec, true);
     rep.final_blackholed = probe.currently_blackholed;
     rep.quiet_loops = probe.loop_observations;
 }
@@ -134,21 +144,16 @@ fn quiet_failover(scn: &Scenario, model: &Tier1Model, seed: u64, threads: usize,
 /// Failover under the churn trace: baseline window, kill, observation
 /// window with time-sliced blackhole sampling.
 fn churn_failover(
+    exp: &Experiment,
     scn: &Scenario,
     model: &Tier1Model,
     seed: u64,
     observe_us: u64,
     slice_us: u64,
-    threads: usize,
     rep: &mut Report,
 ) {
-    let (mut sim, _) = converged(scn, model, threads);
-    let survivors: Vec<RouterId> = scn
-        .spec
-        .all_nodes()
-        .into_iter()
-        .filter(|r| *r != scn.victim)
-        .collect();
+    let mut run: Run = exp.converge(scn.spec.clone(), model);
+    let survivors = survivors(scn);
 
     // Scaled two-week churn trace (tier1 default), long enough to cover
     // baseline + observation windows.
@@ -158,65 +163,43 @@ fn churn_failover(
         events_per_sec: 4.0,
         ..ChurnConfig::default()
     };
-    let t0 = sim.now();
-    regen::replay(&mut sim, &churn::generate(model, &churn_cfg), 1);
+    let t0 = run.now();
+    regen::replay(&mut run.sim, &churn::generate(model, &churn_cfg), 1);
     let t_kill = t0 + observe_us + 5_000_000;
-    schedule_kill(scn, seed, t_kill, &mut sim);
+    schedule_kill(scn, seed, t_kill, &mut run.sim);
 
     // Baseline window [t_kill - W, t_kill): pure churn, no fault yet.
     // Sampled with its own probe so the churn trace's intrinsic stale
     // windows (a flapped route is briefly stale everywhere while the
     // withdrawal propagates) can be subtracted from the post-kill
     // numbers.
-    run_sim(
-        &mut sim,
-        RunLimits {
-            max_events: u64::MAX,
-            max_time: t_kill - observe_us,
-        },
-        threads,
-    );
-    let a = fleet_stats(&sim, &survivors);
+    run.advance_to(t_kill - observe_us);
+    let base_window = run.window(&survivors);
     let mut base_probe = ResilienceProbe::new(t_kill - observe_us);
     let mut horizon = t_kill - observe_us;
     while horizon < t_kill - 1 {
         horizon = (horizon + slice_us).min(t_kill - 1);
-        run_sim(
-            &mut sim,
-            RunLimits {
-                max_events: u64::MAX,
-                max_time: horizon,
-            },
-            threads,
-        );
-        base_probe.sample(&sim, &scn.spec, false);
+        run.advance_to(horizon);
+        base_probe.sample(&run.sim, &scn.spec, false);
     }
-    let b = fleet_stats(&sim, &survivors);
+    let churn_baseline = base_window.delta(&run);
 
     // Observation window (t_kill, t_kill + W]: sample blackholes and
     // loops every slice; heal time is the first zero-blackhole sample.
+    let kill_window = run.window(&survivors);
     let mut probe = ResilienceProbe::new(t_kill - 1);
     let mut heal_at: Option<netsim::Time> = None;
     let mut horizon = t_kill - 1;
     while horizon < t_kill - 1 + observe_us {
         horizon += slice_us;
-        run_sim(
-            &mut sim,
-            RunLimits {
-                max_events: u64::MAX,
-                max_time: horizon,
-            },
-            threads,
-        );
-        probe.sample(&sim, &scn.spec, true);
+        run.advance_to(horizon);
+        probe.sample(&run.sim, &scn.spec, true);
         if heal_at.is_none() && probe.currently_blackholed == 0 && horizon > t_kill {
             heal_at = Some(horizon);
         }
     }
-    let c = fleet_stats(&sim, &survivors);
+    let with_fault = kill_window.delta(&run);
 
-    let churn_baseline = counter_delta(&a, &b);
-    let with_fault = counter_delta(&b, &c);
     rep.storm_generated = with_fault.generated as i64 - churn_baseline.generated as i64;
     rep.storm_transmitted = with_fault.transmitted as i64 - churn_baseline.transmitted as i64;
     rep.churn_heal_ms = heal_at.map(|t| t.saturating_sub(t_kill) as f64 / 1e3);
@@ -227,20 +210,23 @@ fn churn_failover(
 }
 
 fn main() {
-    let args = Args::parse();
-    let seed: u64 = args.get("seed", 11);
+    let args = Args::parse("resilience", FLAGS);
     let mrai_secs: u64 = args.get("mrai-secs", 0);
     let observe_secs: u64 = args.get("observe-secs", 20);
     let slice_ms: u64 = args.get("slice-ms", 250);
-    let threads = args.threads();
-    let cfg = Tier1Config {
-        seed,
-        n_prefixes: args.get("prefixes", 300),
-        n_pops: 3,
-        routers_per_pop: 3,
-        ..Tier1Config::default()
-    };
-    header(
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            seed: 11,
+            n_prefixes: 300,
+            n_pops: 3,
+            routers_per_pop: 3,
+            ..Tier1Config::default()
+        },
+    );
+    let seed = cfg.seed;
+    let exp = Experiment::start(
+        &args,
         "§2.2 — resilience: RR failure under churn, ABRR vs TBRR vs mesh",
         &format!(
             "seed={seed}, {} prefixes, MRAI={mrai_secs}s, observe={observe_secs}s, slice={slice_ms}ms",
@@ -286,14 +272,14 @@ fn main() {
     let mut reports = Vec::new();
     for scn in &scenarios {
         let mut rep = Report::default();
-        quiet_failover(scn, &model, seed, threads, &mut rep);
+        quiet_failover(&exp, scn, &model, seed, &mut rep);
         churn_failover(
+            &exp,
             scn,
             &model,
             seed,
             observe_secs * 1_000_000,
             slice_ms * 1_000,
-            threads,
             &mut rep,
         );
         println!("# {}: victim {:?}", scn.name, scn.victim);
@@ -301,49 +287,73 @@ fn main() {
     }
 
     println!("\n## quiet failover (converged network, single kill, no churn)");
-    println!(
-        "{:<20} {:>14} {:>10} {:>10} {:>9} {:>7}",
-        "scheme", "reconv (s)", "upd gen", "upd xmit", "holes", "loops"
-    );
+    let quiet = Table::new(vec![
+        lcol("scheme", 20),
+        col("reconv (s)", 14),
+        col("upd gen", 10),
+        col("upd xmit", 10),
+        col("holes", 9),
+        col("loops", 7),
+    ]);
+    quiet.row(&[
+        t("scheme"),
+        t("reconv (s)"),
+        t("upd gen"),
+        t("upd xmit"),
+        t("holes"),
+        t("loops"),
+    ]);
     for (name, r) in &reports {
         let reconv = if !r.baseline_quiesced || !r.quiet_quiesced {
             "no quiesce".to_string()
         } else {
             format!("{:.3}", r.quiet_reconverge_s)
         };
-        println!(
-            "{:<20} {:>14} {:>10} {:>10} {:>9} {:>7}",
-            name, reconv, r.quiet_generated, r.quiet_transmitted, r.final_blackholed, r.quiet_loops
-        );
+        quiet.row(&[
+            t(*name),
+            t(reconv),
+            u(r.quiet_generated),
+            u(r.quiet_transmitted),
+            u(r.final_blackholed as u64),
+            u(r.quiet_loops),
+        ]);
     }
 
     println!("\n## failover under churn (storm and blackhole are baseline-corrected vs");
     println!("## an equal pre-kill window of pure churn; loops are transient samples)");
-    println!(
-        "{:<20} {:>10} {:>11} {:>11} {:>14} {:>14} {:>8} {:>6}",
-        "scheme",
-        "heal (ms)",
-        "storm gen",
-        "storm xmit",
-        "bh base (ms)",
-        "bh kill (ms)",
-        "peak bh",
-        "loops"
-    );
+    let churned = Table::new(vec![
+        lcol("scheme", 20),
+        col("heal (ms)", 10),
+        col("storm gen", 11),
+        col("storm xmit", 11),
+        col("bh base (ms)", 14),
+        col("bh kill (ms)", 14),
+        col("peak bh", 8),
+        col("loops", 6),
+    ]);
+    churned.row(&[
+        t("scheme"),
+        t("heal (ms)"),
+        t("storm gen"),
+        t("storm xmit"),
+        t("bh base (ms)"),
+        t("bh kill (ms)"),
+        t("peak bh"),
+        t("loops"),
+    ]);
     for (name, r) in &reports {
-        println!(
-            "{:<20} {:>10} {:>11} {:>11} {:>14.1} {:>14.1} {:>8} {:>6}",
-            name,
-            r.churn_heal_ms
+        churned.row(&[
+            t(*name),
+            t(r.churn_heal_ms
                 .map(|m| format!("{m:.0}"))
-                .unwrap_or_else(|| ">window".into()),
-            r.storm_generated,
-            r.storm_transmitted,
-            r.baseline_blackhole_ms,
-            r.blackhole_ms,
-            r.peak_blackholed,
-            r.loop_observations
-        );
+                .unwrap_or_else(|| ">window".into())),
+            i(r.storm_generated),
+            i(r.storm_transmitted),
+            f(r.baseline_blackhole_ms, 1),
+            f(r.blackhole_ms, 1),
+            u(r.peak_blackholed as u64),
+            u(r.loop_observations),
+        ]);
     }
 
     let (_, abrr) = &reports[0];

@@ -16,13 +16,40 @@
 //!       [--label L] [--out FILE]`
 
 use abrr::prelude::*;
-use abrr_bench::{run_sim, Args, SETTLE_BUDGET_US};
+use abrr_bench::pipeline::JsonRow;
+use abrr_bench::{flag, run_sim, Args, FlagSpec, SETTLE_BUDGET_US};
 use faults::{compile, FaultKind, FaultSchedule};
-use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use workload::specs::{self, SpecOptions};
 use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
+
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "workload",
+        "W",
+        "workload to run: churn | failover (default churn)",
+    ),
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 1000)",
+    ),
+    flag("minutes", "M", "churn-trace length in minutes (default 5)"),
+    flag("rate", "EPS", "churn events per second (default 2.0)"),
+    flag("seed", "S", "workload + fault RNG seed"),
+    flag("aps", "N", "address partitions (default 8)"),
+    flag(
+        "label",
+        "L",
+        "label recorded in the JSON row (default optimized)",
+    ),
+    flag(
+        "out",
+        "FILE",
+        "append the JSON row to FILE as well as stdout",
+    ),
+];
 
 /// Peak resident set size of this process, in kB (`VmHWM`).
 fn peak_rss_kb() -> u64 {
@@ -145,7 +172,7 @@ fn failover_workload(
 }
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse("scale", FLAGS);
     let workload = args.map_get("workload").unwrap_or("churn").to_string();
     let threads = args.threads();
     let seed: u64 = args.get("seed", Tier1Config::default().seed);
@@ -172,27 +199,22 @@ fn main() {
     let wall_ms = wall.as_secs_f64() * 1e3;
     let eps = m.events as f64 / wall.as_secs_f64().max(1e-9);
     let istats = m.intern;
-    let json = format!(
-        "{{\"workload\":\"{workload}\",\"label\":\"{label}\",\"threads\":{threads},\
-         \"prefixes\":{n_prefixes},\"aps\":{n_aps},\"minutes\":{minutes},\"seed\":{seed},\
-         \"wall_ms\":{wall_ms:.1},\"events\":{events},\"events_per_sec\":{eps:.0},\
-         \"peak_rss_kb\":{rss},\"quiesced\":{quiesced},\"sim_end_us\":{sim_end},\
-         \"intern_hits\":{ih},\"intern_misses\":{im},\"intern_entries\":{ie}}}",
-        events = m.events,
-        rss = peak_rss_kb(),
-        quiesced = m.quiesced,
-        sim_end = m.sim_end_us,
-        ih = istats.hits,
-        im = istats.misses,
-        ie = istats.entries,
-    );
-    println!("{json}");
-    if let Some(path) = args.map_get("out") {
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .expect("open --out file");
-        writeln!(f, "{json}").expect("append json line");
-    }
+    JsonRow::new()
+        .str("workload", &workload)
+        .str("label", &label)
+        .usize("threads", threads)
+        .usize("prefixes", n_prefixes)
+        .usize("aps", n_aps)
+        .u64("minutes", minutes)
+        .u64("seed", seed)
+        .f64("wall_ms", wall_ms, 1)
+        .u64("events", m.events)
+        .f64("events_per_sec", eps, 0)
+        .u64("peak_rss_kb", peak_rss_kb())
+        .bool("quiesced", m.quiesced)
+        .u64("sim_end_us", m.sim_end_us)
+        .u64("intern_hits", istats.hits)
+        .u64("intern_misses", istats.misses)
+        .usize("intern_entries", istats.entries)
+        .emit(args.map_get("out"));
 }

@@ -9,38 +9,74 @@
 //!
 //! Run: `cargo run --release -p abrr-bench --bin sessions`
 
-use abrr_bench::{header, Args};
+use abrr_bench::pipeline::{col, f, t, Table};
+use abrr_bench::{flag, header, tier1_config, Args, FlagSpec};
+use bgp_types::RouterId;
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[flag(
+    "prefixes",
+    "N",
+    "routed prefixes in the cross-check model (default 50)",
+)];
+
+/// Sessions a node actually has in the built sim.
+fn sessions_of(
+    sim: &netsim::Sim<abrr::BgpNode>,
+    spec: &abrr::NetworkSpec,
+    node: RouterId,
+) -> usize {
+    spec.all_nodes()
+        .iter()
+        .filter(|n| **n != node && sim.has_session(node, **n))
+        .count()
+}
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse("sessions", FLAGS);
     header(
         "§3.3 — iBGP sessions per role",
         "analytical counts for the paper's Tier-1 shape, plus simulator cross-check",
     );
 
     println!("\n## analytical (paper's AS: 1000 routers, 27 clusters, 2 RRs each)");
-    println!(
-        "{:>8} {:>10} {:>10} {:>14} {:>14}",
-        "#APs", "per ARR", "per TRR", "per ABRR client", "per TBRR client"
-    );
+    let table = Table::new(vec![
+        col("#APs", 8),
+        col("per ARR", 10),
+        col("per TRR", 10),
+        col("per ABRR client", 14),
+        col("per TBRR client", 14),
+    ]);
+    table.row(&[
+        t("#APs"),
+        t("per ARR"),
+        t("per TRR"),
+        t("per ABRR client"),
+        t("per TBRR client"),
+    ]);
     for aps in [5.0, 10.0, 13.0, 15.0, 27.0] {
         let s = analysis::sessions(1000.0, aps, 27.0, 2.0);
-        println!(
-            "{:>8} {:>10.0} {:>10.0} {:>14.0} {:>14.0}",
-            aps, s.per_arr, s.per_trr, s.per_abrr_client, s.per_tbrr_client
-        );
+        table.row(&[
+            f(aps, 0),
+            f(s.per_arr, 0),
+            f(s.per_trr, 0),
+            f(s.per_abrr_client, 0),
+            f(s.per_tbrr_client, 0),
+        ]);
     }
     println!("\n# paper: TRR max ~200 / avg ~100 sessions; \"Each ARR in this network");
     println!("# would require over 1000 sessions\"; clients 20-30 (ABRR) vs 2 (TBRR).");
 
     // Simulator cross-check at model scale.
-    let cfg = Tier1Config {
-        n_prefixes: args.get("prefixes", 50),
-        ..Tier1Config::default()
-    };
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 50,
+            ..Tier1Config::default()
+        },
+    );
     let model = Tier1Model::generate(cfg);
     let n_routers = model.routers.len();
     let opts = SpecOptions::default();
@@ -52,18 +88,8 @@ fn main() {
         let n_aps = 13usize;
         let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
         let sim = abrr::build_sim(spec.clone());
-        let arr = spec.all_arrs()[0];
-        let arr_sessions = spec
-            .all_nodes()
-            .iter()
-            .filter(|n| **n != arr && sim.has_session(arr, **n))
-            .count();
-        let client = model.routers[0];
-        let client_sessions = spec
-            .all_nodes()
-            .iter()
-            .filter(|n| **n != client && sim.has_session(client, **n))
-            .count();
+        let arr_sessions = sessions_of(&sim, &spec, spec.all_arrs()[0]);
+        let client_sessions = sessions_of(&sim, &spec, model.routers[0]);
         println!(
             "ABRR #APs={n_aps}: sessions per ARR = {arr_sessions} (every other node), per client = {client_sessions}"
         );
@@ -71,18 +97,8 @@ fn main() {
     {
         let spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
         let sim = abrr::build_sim(spec.clone());
-        let trr = spec.all_trrs()[0];
-        let trr_sessions = spec
-            .all_nodes()
-            .iter()
-            .filter(|n| **n != trr && sim.has_session(trr, **n))
-            .count();
-        let client = model.routers[0];
-        let client_sessions = spec
-            .all_nodes()
-            .iter()
-            .filter(|n| **n != client && sim.has_session(client, **n))
-            .count();
+        let trr_sessions = sessions_of(&sim, &spec, spec.all_trrs()[0]);
+        let client_sessions = sessions_of(&sim, &spec, model.routers[0]);
         println!(
             "TBRR 13 clusters: sessions per TRR = {trr_sessions} (cluster + mesh), per client = {client_sessions}"
         );

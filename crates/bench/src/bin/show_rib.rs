@@ -8,22 +8,48 @@
 //!   cargo run --release -p abrr-bench --bin show_rib -- --mode abrr --router 5 --verbose
 
 use abrr::prelude::*;
-use abrr_bench::{converge_snapshot, header, Args};
+use abrr_bench::{flag, header, tier1_config, Args, Experiment, FlagSpec};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "mode",
+        "M",
+        "scheme: abrr | tbrr | tbrr-multi | mesh (default abrr)",
+    ),
+    flag("aps", "N", "address partitions for --mode abrr (default 8)"),
+    flag("seed", "S", "workload RNG seed"),
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 200)",
+    ),
+    flag("pops", "P", "PoPs in the topology (default 6)"),
+    flag("rpp", "R", "routers per PoP (default 4)"),
+    flag("prefix", "P", "dump one prefix (a.b.c.d/len) across the AS"),
+    flag("router", "N", "dump one router's RIB summary"),
+    flag(
+        "verbose",
+        "",
+        "per-ARR stored paths / per-prefix selections",
+    ),
+];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse("show_rib", FLAGS);
     let mode: String = args.get("mode", "abrr".to_string());
     let n_aps: usize = args.get("aps", 8);
-    let cfg = Tier1Config {
-        seed: args.get("seed", Tier1Config::default().seed),
-        n_prefixes: args.get("prefixes", 200),
-        n_pops: args.get("pops", 6),
-        routers_per_pop: args.get("rpp", 4),
-        ..Tier1Config::default()
-    };
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 200,
+            n_pops: 6,
+            routers_per_pop: 4,
+            ..Tier1Config::default()
+        },
+    );
     header(
         "RIB inspector",
         &format!(
@@ -46,20 +72,23 @@ fn main() {
             std::process::exit(2);
         }
     });
-    let (sim, out) = converge_snapshot(spec.clone(), &model, 1_000, args.threads());
+    let exp = Experiment {
+        threads: args.threads(),
+    };
+    let run = exp.converge(spec.clone(), &model);
     println!(
         "# converged: quiesced={} ({} events)\n",
-        out.quiesced, out.events
+        run.outcome.quiesced, run.outcome.events
     );
 
     if let Some(pstr) = args.map_get("prefix") {
         let prefix: Ipv4Prefix = pstr.parse().expect("bad --prefix");
-        show_prefix(&sim, &spec, &model, &prefix, args.flag("verbose"));
+        show_prefix(&run.sim, &spec, &model, &prefix, args.flag("verbose"));
     } else if args.map_get("router").is_some() {
         let rid: u32 = args.get("router", 0);
-        show_router(&sim, RouterId(rid), args.flag("verbose"));
+        show_router(&run.sim, RouterId(rid), args.flag("verbose"));
     } else {
-        summary(&sim, &spec, &model);
+        summary(&run.sim, &spec, &model);
     }
 }
 

@@ -12,38 +12,60 @@
 //! Run: `cargo run --release -p abrr-bench --bin table_updates
 //!       [--prefixes N] [--seed S] [--minutes M] [--rate EPS] [--pops P]`
 
-use abrr_bench::{converge_snapshot, counter_delta, fleet_stats, header, run_churn, Args};
+use abrr::UpdateCounters;
+use abrr_bench::pipeline::{col, f, lcol, t, Table};
+use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec};
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
 use workload::{ChurnConfig, Tier1Config, Tier1Model};
 
+const FLAGS: &[FlagSpec] = &[
+    flag(
+        "prefixes",
+        "N",
+        "routed prefixes in the model (default 500)",
+    ),
+    flag("seed", "S", "workload RNG seed"),
+    flag("minutes", "M", "churn-trace length in minutes (default 10)"),
+    flag("rate", "EPS", "churn events per second (default 2.0)"),
+    flag("pops", "P", "PoPs = #APs = #clusters (default 13)"),
+    flag("rpp", "R", "routers per PoP (default 24)"),
+    flag("mrai-secs", "S", "MRAI interval in seconds (default 5)"),
+    flag(
+        "rr-skew-secs",
+        "S",
+        "RR processing-delay spread in seconds (default 3)",
+    ),
+];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse("table_updates", FLAGS);
     // The paper's §4.2 numbers come from the *full* iBGP topology
     // (>1000 clients across 27 clusters): the per-TRR client group is
     // small relative to the total client population an ARR serves, and
     // that proportion is what produces the 2.5x/4x trade-off. Keep the
     // client:cluster ratio comparable by default.
-    let n_pops: usize = args.get("pops", 13);
-    let rpp: usize = args.get("rpp", 24);
-    let cfg = Tier1Config {
-        seed: args.get("seed", Tier1Config::default().seed),
-        n_prefixes: args.get("prefixes", 500),
-        n_pops,
-        routers_per_pop: rpp,
-        ..Tier1Config::default()
-    };
+    let cfg = tier1_config(
+        &args,
+        Tier1Config {
+            n_prefixes: 500,
+            n_pops: 13,
+            routers_per_pop: 24,
+            ..Tier1Config::default()
+        },
+    );
+    let (n_pops, rpp) = (cfg.n_pops, cfg.routers_per_pop);
     let minutes: u64 = args.get("minutes", 10);
     let rate: f64 = args.get("rate", 2.0);
     let mrai_secs: u64 = args.get("mrai-secs", 5);
     let rr_skew_secs: u64 = args.get("rr-skew-secs", 3);
-    let threads = args.threads();
     let churn_cfg = ChurnConfig {
         duration_us: minutes * 60_000_000,
         events_per_sec: rate,
         ..ChurnConfig::default()
     };
-    header(
+    let exp = Experiment::start(
+        &args,
         "§4.2 — transmitted updates & bytes: TRR vs ARR; client received updates",
         &format!(
             "seed={} prefixes={} pops={} routers/pop={} (paper: 27 clusters vs 27 APs, >1000 routers), churn {} min @ {} ev/s",
@@ -58,35 +80,37 @@ fn main() {
         ..Default::default()
     };
     let secs = (minutes * 60) as f64;
+    let clients = model.routers.clone();
+
+    // Churn window over one scheme: per-RR and per-client deltas.
+    let measure = |spec: Arc<abrr::NetworkSpec>,
+                   rrs: &[bgp_types::RouterId],
+                   name: &str,
+                   require: bool|
+     -> (UpdateCounters, UpdateCounters) {
+        let mut run = exp.converge(spec, &model);
+        if require {
+            assert!(run.outcome.quiesced, "{name} must converge");
+        } else if !run.outcome.quiesced {
+            println!("# note: {name} snapshot load did not quiesce (persistent oscillation)");
+        }
+        let rr_w = run.window(rrs);
+        let cl_w = run.window(&clients);
+        if !run.churn(&model, &churn_cfg).quiesced {
+            println!("# note: {name} churn phase sampled while still churning");
+        }
+        (rr_w.delta(&run), cl_w.delta(&run))
+    };
 
     // ABRR with #APs = #PoPs, 2 ARRs each.
     let ab_spec = Arc::new(specs::abrr_spec(&model, n_pops, 2, &opts));
     let arrs = ab_spec.all_arrs();
-    let clients = model.routers.clone();
-    let (mut ab_sim, out) = converge_snapshot(ab_spec, &model, 1_000, threads);
-    assert!(out.quiesced, "ABRR must converge");
-    let arr_before = fleet_stats(&ab_sim, &arrs);
-    let cl_before = fleet_stats(&ab_sim, &clients);
-    if !run_churn(&mut ab_sim, &model, &churn_cfg, 1, threads).quiesced {
-        println!("# note: ABRR churn phase sampled while still churning (unexpected)");
-    }
-    let arr_d = counter_delta(&arr_before, &fleet_stats(&ab_sim, &arrs));
-    let ab_cl_d = counter_delta(&cl_before, &fleet_stats(&ab_sim, &clients));
+    let (arr_d, ab_cl_d) = measure(ab_spec, &arrs, "ABRR", true);
 
     // TBRR with #clusters = #PoPs, 2 TRRs each.
     let tb_spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
     let trrs = tb_spec.all_trrs();
-    let (mut tb_sim, out) = converge_snapshot(tb_spec, &model, 1_000, threads);
-    if !out.quiesced {
-        println!("# note: TBRR snapshot load did not quiesce (persistent oscillation)");
-    }
-    let trr_before = fleet_stats(&tb_sim, &trrs);
-    let tcl_before = fleet_stats(&tb_sim, &clients);
-    if !run_churn(&mut tb_sim, &model, &churn_cfg, 1, threads).quiesced {
-        println!("# note: TBRR churn phase sampled while still churning");
-    }
-    let trr_d = counter_delta(&trr_before, &fleet_stats(&tb_sim, &trrs));
-    let tb_cl_d = counter_delta(&tcl_before, &fleet_stats(&tb_sim, &clients));
+    let (trr_d, tb_cl_d) = measure(tb_spec, &trrs, "TBRR", false);
 
     let arr_tx_per_s = arr_d.transmitted as f64 / arrs.len() as f64 / secs;
     let trr_tx_per_s = trr_d.transmitted as f64 / trrs.len() as f64 / secs;
@@ -95,19 +119,27 @@ fn main() {
     let ab_cl_rx = ab_cl_d.received as f64 / clients.len() as f64;
     let tb_cl_rx = tb_cl_d.received as f64 / clients.len() as f64;
 
-    println!("\n{:<34} {:>12} {:>12}", "metric", "TBRR/TRR", "ABRR/ARR");
-    println!(
-        "{:<34} {:>12.1} {:>12.1}",
-        "updates transmitted per RR per s", trr_tx_per_s, arr_tx_per_s
-    );
-    println!(
-        "{:<34} {:>12.0} {:>12.0}",
-        "bytes transmitted per RR per s", trr_bytes_per_s, arr_bytes_per_s
-    );
-    println!(
-        "{:<34} {:>12.0} {:>12.0}",
-        "updates received per client", tb_cl_rx, ab_cl_rx
-    );
+    let table = Table::new(vec![
+        lcol("metric", 34),
+        col("TBRR/TRR", 12),
+        col("ABRR/ARR", 12),
+    ]);
+    table.header();
+    table.row(&[
+        t("updates transmitted per RR per s"),
+        f(trr_tx_per_s, 1),
+        f(arr_tx_per_s, 1),
+    ]);
+    table.row(&[
+        t("bytes transmitted per RR per s"),
+        f(trr_bytes_per_s, 0),
+        f(arr_bytes_per_s, 0),
+    ]);
+    table.row(&[
+        t("updates received per client"),
+        f(tb_cl_rx, 0),
+        f(ab_cl_rx, 0),
+    ]);
     println!();
     println!(
         "TRR/ARR transmitted-update ratio : {:.2}x   [paper: ~2.5x]",

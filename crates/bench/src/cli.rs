@@ -1,0 +1,235 @@
+//! Strict typed CLI for the experiment binaries.
+//!
+//! The sanctioned crate set has no argument parser, so this is a tiny
+//! `--key value` reader — but a *strict* one: every binary declares its
+//! flags up front, unknown `--keys` and unparseable values are hard
+//! errors (exit 2 with the generated flag list), and `--help` prints
+//! that list. The previous lenient parser silently fell back to the
+//! default on both mistakes, so `--thread 4` ran sequentially without a
+//! word; that failure mode is gone.
+
+use std::collections::BTreeMap;
+
+/// One declared `--name` flag of a binary.
+#[derive(Debug)]
+pub struct FlagSpec {
+    /// Flag name without the leading `--`.
+    pub name: &'static str,
+    /// Value placeholder shown in the flag list (e.g. `"N"`). Empty
+    /// declares a presence-only boolean that consumes no value.
+    pub value: &'static str,
+    /// One-line description; include the default.
+    pub help: &'static str,
+}
+
+/// Shorthand [`FlagSpec`] constructor for the per-binary flag tables.
+pub const fn flag(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec { name, value, help }
+}
+
+/// Flags every binary accepts on top of its own declarations.
+const COMMON: &[FlagSpec] = &[
+    flag(
+        "threads",
+        "N",
+        "engine: 0 = sequential (default), N >= 1 = deterministic parallel on N workers",
+    ),
+    flag("help", "", "print this flag list and exit"),
+];
+
+/// Parsed arguments of one binary, validated against its declared
+/// flag table.
+#[derive(Debug)]
+pub struct Args {
+    bin: &'static str,
+    flags: &'static [FlagSpec],
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` against `flags` (plus the common
+    /// `--threads`/`--help`). Unknown flags, positional arguments, and
+    /// missing values exit with status 2 and the flag list; `--help`
+    /// prints the list and exits 0.
+    pub fn parse(bin: &'static str, flags: &'static [FlagSpec]) -> Args {
+        match Self::try_parse(bin, flags, std::env::args().skip(1)) {
+            Ok(args) => {
+                if args.map.contains_key("help") {
+                    println!("{}", args.usage());
+                    std::process::exit(0);
+                }
+                args
+            }
+            Err(e) => {
+                let probe = Args {
+                    bin,
+                    flags,
+                    map: BTreeMap::new(),
+                };
+                eprintln!("{bin}: {e}\n\n{}", probe.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn try_parse(
+        bin: &'static str,
+        flags: &'static [FlagSpec],
+        argv: impl Iterator<Item = String>,
+    ) -> Result<Args, String> {
+        let mut map = BTreeMap::new();
+        let mut it = argv;
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument `{tok}` (flags are `--key value`)"
+                ));
+            };
+            let spec =
+                Self::lookup(flags, name).ok_or_else(|| format!("unknown flag `--{name}`"))?;
+            let value = if spec.value.is_empty() {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("flag `--{name}` expects a value <{}>", spec.value))?
+            };
+            map.insert(name.to_string(), value);
+        }
+        Ok(Args { bin, flags, map })
+    }
+
+    fn lookup(flags: &'static [FlagSpec], name: &str) -> Option<&'static FlagSpec> {
+        flags.iter().chain(COMMON.iter()).find(|f| f.name == name)
+    }
+
+    /// The generated flag list for this binary.
+    pub fn usage(&self) -> String {
+        let mut s = format!("usage: {} [--key value ...]\nflags:\n", self.bin);
+        let rows: Vec<(String, &str)> = self
+            .flags
+            .iter()
+            .chain(COMMON.iter())
+            .map(|f| {
+                let head = if f.value.is_empty() {
+                    format!("--{}", f.name)
+                } else {
+                    format!("--{} <{}>", f.name, f.value)
+                };
+                (head, f.help)
+            })
+            .collect();
+        let w = rows.iter().map(|(h, _)| h.len()).max().unwrap_or(0);
+        for (head, help) in rows {
+            s.push_str(&format!("  {head:<w$}  {help}\n"));
+        }
+        s.pop();
+        s
+    }
+
+    /// Whether `key` is in this binary's declared flag table (used by
+    /// helpers that read a knob only where the binary exposes it).
+    pub fn declared(&self, key: &str) -> bool {
+        Self::lookup(self.flags, key).is_some()
+    }
+
+    fn checked<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        debug_assert!(self.declared(key), "undeclared flag `--{key}` queried");
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| {
+                format!(
+                    "invalid value `{v}` for `--{key}` (expected {})",
+                    std::any::type_name::<T>()
+                )
+            }),
+        }
+    }
+
+    /// Typed getter with default. Exits with status 2 if the given
+    /// value does not parse as `T` — never silently falls back.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.checked(key) {
+            Ok(v) => v.unwrap_or(default),
+            Err(e) => {
+                eprintln!("{}: {e}\n\n{}", self.bin, self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Presence check for boolean flags.
+    pub fn flag(&self, key: &str) -> bool {
+        debug_assert!(self.declared(key), "undeclared flag `--{key}` queried");
+        self.map.contains_key(key)
+    }
+
+    /// Raw string getter.
+    pub fn map_get(&self, key: &str) -> Option<&str> {
+        debug_assert!(self.declared(key), "undeclared flag `--{key}` queried");
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    /// The `--threads` knob shared by every bench bin: `0` (default)
+    /// runs the sequential engine, `n >= 1` runs the deterministic
+    /// parallel engine on `n` workers (`1` = epoch engine inline —
+    /// useful for verifying the parallel path without concurrency).
+    pub fn threads(&self) -> usize {
+        self.get("threads", 0usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLAGS: &[FlagSpec] = &[
+        flag("prefixes", "N", "number of prefixes (default 3000)"),
+        flag("balanced", "", "prefix-balanced APs"),
+    ];
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        Args::try_parse("test", FLAGS, argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn typo_is_an_error_not_a_silent_default() {
+        // The motivating bug: `--thread 4` used to run sequentially.
+        assert!(parse(&["--thread", "4"]).unwrap_err().contains("--thread"));
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let args = parse(&["--prefixes", "many"]).unwrap();
+        assert!(args.checked::<usize>("prefixes").is_err());
+    }
+
+    #[test]
+    fn declared_flags_parse() {
+        let args = parse(&["--prefixes", "42", "--balanced", "--threads", "2"]).unwrap();
+        assert_eq!(args.checked::<usize>("prefixes").unwrap(), Some(42));
+        assert!(args.flag("balanced"));
+        assert_eq!(args.threads(), 2);
+    }
+
+    #[test]
+    fn booleans_consume_no_value() {
+        let args = parse(&["--balanced", "--prefixes", "7"]).unwrap();
+        assert!(args.flag("balanced"));
+        assert_eq!(args.checked::<usize>("prefixes").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn missing_value_and_positionals_rejected() {
+        assert!(parse(&["--prefixes"]).is_err());
+        assert!(parse(&["42"]).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let args = parse(&[]).unwrap();
+        let u = args.usage();
+        for name in ["--prefixes <N>", "--balanced", "--threads <N>", "--help"] {
+            assert!(u.contains(name), "usage missing {name}:\n{u}");
+        }
+    }
+}

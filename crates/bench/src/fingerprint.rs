@@ -1,0 +1,223 @@
+//! Cross-refactor golden fingerprints.
+//!
+//! A fingerprint is a deterministic, human-diffable text rendering of a
+//! converged simulation: per-node Adj-RIB-In/Out sizes, a stable hash
+//! of the Loc-RIB contents, and the full update counters. The golden
+//! files under `tests/golden/` were recorded from the pre-role-split
+//! engine; `crates/bench/tests/golden_regression.rs` replays the same
+//! scenarios and requires byte-identical output, so any refactor that
+//! perturbs protocol behavior — one message more, one tie broken
+//! differently — fails loudly.
+//!
+//! To re-bless after an *intentional* behavior change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p abrr-bench --test golden_regression
+//! ```
+
+use crate::{run_churn, run_sim, SETTLE_BUDGET_US};
+use abrr::{BgpNode, NetworkSpec};
+use bgp_types::RouterId;
+use faults::{compile, FaultKind, FaultSchedule};
+use netsim::{RunLimits, Sim};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use workload::specs::{self, SpecOptions};
+use workload::{churn, regen, ChurnConfig, Tier1Config, Tier1Model};
+
+/// FNV-1a 64-bit: stable across platforms, builds, and refactors
+/// (unlike `DefaultHasher`, whose keys are unspecified).
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Stable hash of a node's Loc-RIB: every selection's prefix,
+/// attributes, source, and advertising neighbor, in prefix order.
+pub fn loc_rib_hash(node: &BgpNode) -> u64 {
+    let mut sels: Vec<_> = node.selections().collect();
+    sels.sort_by_key(|(p, _)| **p);
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for (prefix, sel) in sels {
+        fnv1a(
+            &mut h,
+            format!(
+                "{prefix}|{:?}|{:?}|{}\n",
+                sel.attrs, sel.source, sel.neighbor_id
+            )
+            .as_bytes(),
+        );
+    }
+    h
+}
+
+/// One line per node: RIB sizes, Loc-RIB hash, counters.
+pub fn node_line(id: RouterId, node: &BgpNode) -> String {
+    let c = node.counters();
+    format!(
+        "node {} rib_in={} rib_out={} loc_n={} loc_hash={:016x} rx={} gen={} tx={} bytes={} loop={} ebgp_ev={} ebgp_exp={}",
+        id.0,
+        node.rib_in_size(),
+        node.rib_out_size(),
+        node.loc_rib_len(),
+        loc_rib_hash(node),
+        c.received,
+        c.generated,
+        c.transmitted,
+        c.bytes_transmitted,
+        c.loop_prevented,
+        c.ebgp_events,
+        c.ebgp_exported,
+    )
+}
+
+/// Full-fleet fingerprint: a header plus one [`node_line`] per node of
+/// the spec, in id order.
+pub fn fingerprint(name: &str, sim: &Sim<BgpNode>, spec: &NetworkSpec) -> String {
+    let mut out = String::new();
+    writeln!(out, "# golden fingerprint v1").unwrap();
+    writeln!(out, "config {name}").unwrap();
+    for id in spec.all_nodes() {
+        writeln!(out, "{}", node_line(id, sim.node(id))).unwrap();
+    }
+    out
+}
+
+/// The shared small-scale Tier-1 model every golden scenario runs on
+/// (kept tiny so the regression suite stays in test-time budget).
+fn golden_model() -> Tier1Model {
+    Tier1Model::generate(Tier1Config {
+        n_prefixes: 120,
+        n_pops: 3,
+        routers_per_pop: 3,
+        ..Tier1Config::default()
+    })
+}
+
+/// A named golden scenario: builds, runs, and fingerprints one
+/// configuration under the chosen engine (`threads` as in
+/// [`crate::run_sim`]).
+pub struct GoldenScenario {
+    /// Scenario (and golden file) name.
+    pub name: &'static str,
+    run: fn(usize) -> String,
+}
+
+impl GoldenScenario {
+    /// Runs the scenario and returns its fingerprint text.
+    pub fn run(&self, threads: usize) -> String {
+        (self.run)(threads)
+    }
+}
+
+fn converge(spec: &Arc<NetworkSpec>, model: &Tier1Model, threads: usize) -> Sim<BgpNode> {
+    let mut sim = abrr::build_sim(spec.clone());
+    regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
+    run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: SETTLE_BUDGET_US,
+        },
+        threads,
+    );
+    sim
+}
+
+fn fig6_abrr(threads: usize) -> String {
+    let model = golden_model();
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
+    let sim = converge(&spec, &model, threads);
+    fingerprint("fig6_abrr_4aps", &sim, &spec)
+}
+
+fn fig6_tbrr(threads: usize) -> String {
+    let model = golden_model();
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
+    let sim = converge(&spec, &model, threads);
+    fingerprint("fig6_tbrr", &sim, &spec)
+}
+
+fn fig7_churn(threads: usize) -> String {
+    let model = golden_model();
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
+    let mut sim = converge(&spec, &model, threads);
+    let cfg = ChurnConfig {
+        duration_us: 60_000_000,
+        events_per_sec: 2.0,
+        ..ChurnConfig::default()
+    };
+    run_churn(&mut sim, &model, &cfg, 1, threads);
+    fingerprint("fig7_churn_abrr", &sim, &spec)
+}
+
+fn resilience_arr_kill(threads: usize) -> String {
+    let model = golden_model();
+    let opts = SpecOptions::default();
+    let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
+    let mut sim = converge(&spec, &model, threads);
+    let mut sched = FaultSchedule::new(11);
+    sched.push(
+        sim.now() + 1_000_000,
+        FaultKind::ArrFailure {
+            arr: spec.all_arrs()[0],
+        },
+    );
+    compile(&sched, &spec, &mut sim).expect("schedule compiles");
+    let deadline = sim.now() + SETTLE_BUDGET_US;
+    run_sim(
+        &mut sim,
+        RunLimits {
+            max_events: u64::MAX,
+            max_time: deadline,
+        },
+        threads,
+    );
+    fingerprint("resilience_arr_kill", &sim, &spec)
+}
+
+/// All golden scenarios, in file order.
+pub fn scenarios() -> Vec<GoldenScenario> {
+    vec![
+        GoldenScenario {
+            name: "fig6_abrr_4aps",
+            run: fig6_abrr,
+        },
+        GoldenScenario {
+            name: "fig6_tbrr",
+            run: fig6_tbrr,
+        },
+        GoldenScenario {
+            name: "fig7_churn_abrr",
+            run: fig7_churn,
+        },
+        GoldenScenario {
+            name: "resilience_arr_kill",
+            run: resilience_arr_kill,
+        },
+    ]
+}
+
+/// Directory holding the golden files (workspace `tests/golden/`).
+pub fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .canonicalize()
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+        })
+}

@@ -6,6 +6,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod fingerprint;
+pub mod pipeline;
+
+pub use cli::{flag, Args, FlagSpec};
+pub use pipeline::{tier1_config, Experiment};
+
 use abrr::{BgpNode, NetworkSpec, UpdateCounters};
 use bgp_types::RouterId;
 use netsim::{RunLimits, RunOutcome, Sim, Time};
@@ -19,53 +26,6 @@ use workload::{churn, regen, ChurnConfig, Tier1Model};
 /// therefore sample state at a time budget, exactly as the paper's
 /// testbed measured a running system, and report non-quiescence.
 pub const SETTLE_BUDGET_US: Time = 300_000_000;
-
-/// Minimal `--key value` argument parser (the sanctioned crate set has
-/// no CLI parser; experiments only need a handful of typed knobs).
-pub struct Args {
-    map: BTreeMap<String, String>,
-}
-
-impl Args {
-    /// Parses `std::env::args`.
-    pub fn parse() -> Args {
-        let mut map = BTreeMap::new();
-        let mut it = std::env::args().skip(1);
-        while let Some(k) = it.next() {
-            if let Some(name) = k.strip_prefix("--") {
-                let v = it.next().unwrap_or_else(|| "true".to_string());
-                map.insert(name.to_string(), v);
-            }
-        }
-        Args { map }
-    }
-
-    /// Typed getter with default.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.map
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// Presence check for boolean flags.
-    pub fn flag(&self, key: &str) -> bool {
-        self.map.contains_key(key)
-    }
-
-    /// Raw string getter.
-    pub fn map_get(&self, key: &str) -> Option<&str> {
-        self.map.get(key).map(|s| s.as_str())
-    }
-
-    /// The `--threads` knob shared by every bench bin: `0` (default)
-    /// runs the sequential engine, `n >= 1` runs the deterministic
-    /// parallel engine on `n` workers (`1` = epoch engine inline —
-    /// useful for verifying the parallel path without concurrency).
-    pub fn threads(&self) -> usize {
-        self.get("threads", 0usize)
-    }
-}
 
 /// Runs `sim` under the engine selected by `threads` (see
 /// [`Args::threads`]). Both engines produce bit-identical results by

@@ -61,6 +61,7 @@ pub mod audit;
 pub mod counters;
 pub mod msg;
 pub mod node;
+pub mod roles;
 pub mod scenarios;
 pub mod spec;
 

@@ -1,22 +1,30 @@
-//! The protocol engine: one [`BgpNode`] per router, implementing the
-//! client, ARR, and TRR roles of paper Table 1 over [`netsim`].
+//! The protocol shell: one [`BgpNode`] per router, hosting the role
+//! engines of [`crate::roles`] over [`netsim`].
 //!
 //! A single node type hosts all roles because the paper's roles are
 //! *functions within a router* (§2.1): a data-plane router is a client
 //! for every AP; any router may additionally be an ARR for some APs or
 //! a TRR for some clusters; internal hand-off between a router's client
 //! and ARR functions is a logical pass, not an iBGP message.
+//!
+//! The shell owns exactly three jobs — everything else lives in a role:
+//!
+//! 1. **Classification**: map an incoming update's (sender, plane,
+//!    prefix) to the role that must absorb it (`BgpNode::classify`).
+//! 2. **Decision orchestration**: gather candidates from every role in
+//!    a fixed order (border → client → ARR → TRR), run the decision on
+//!    the shared [`Chassis`], and drive each role's advertisement step.
+//! 3. **Lifecycle**: input batching, session up/down/restart fan-out,
+//!    and the §2.2 AP-reassignment choreography across roles.
 
 use crate::counters::UpdateCounters;
 use crate::msg::{BgpMsg, ExternalEvent, Plane};
-use crate::spec::{AbrrLoopPrevention, Mode, NetworkSpec};
-use bgp_rib::{best_as_level, best_path, AdjRibIn, AdjRibOut, Candidate, LocRib, PathSet};
-use bgp_types::{
-    intern, ApId, Asn, ClusterId, FxHashMap, Ipv4Prefix, NextHop, OriginatorId, PathAttributes,
-    PathId, RouteSource, RouterId,
-};
-use netsim::{Ctx, Mrai, MraiVerdict, Protocol};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::roles::{AdvertiseEnv, ArrRole, BorderRole, Chassis, ClientRole, Role, Rx, TrrRole};
+use crate::spec::{Mode, NetworkSpec};
+use bgp_rib::{best_path, Candidate, PathSet};
+use bgp_types::{ApId, Ipv4Prefix, PathAttributes, PathId, RouteSource, RouterId};
+use netsim::{Ctx, Protocol};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Peer-group ids used by every node. One RIB-Out copy exists per group
@@ -55,13 +63,6 @@ impl Selected {
     }
 }
 
-/// An eBGP-learned route held at a border router.
-#[derive(Clone, Debug)]
-struct EbgpRoute {
-    peer_as: Asn,
-    attrs: Arc<PathAttributes>,
-}
-
 /// How an incoming message is interpreted, per roles and mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InputKind {
@@ -75,146 +76,43 @@ enum InputKind {
     Unexpected,
 }
 
-/// A BGP router in the simulated AS. See module docs.
+/// A BGP router in the simulated AS: the shared [`Chassis`] plus one
+/// engine per role. See module docs.
 pub struct BgpNode {
-    id: RouterId,
-    spec: Arc<NetworkSpec>,
-    /// ABRR: APs this node reflects (ARR role).
-    arr_aps: Vec<ApId>,
-    /// TBRR: cluster ids this node reflects (TRR role).
-    trr_clusters: Vec<u32>,
-    /// TBRR: this node's TRRs (client role), empty if none.
-    my_trrs: Vec<RouterId>,
-    /// Transition (§2.4): APs for which ABRR routes are accepted.
-    accept_abrr: BTreeSet<ApId>,
-    /// eBGP Adj-RIB-In: prefix → (peer_addr → route). The outer map is
-    /// hashed (hot per-update lookups); the inner stays ordered because
-    /// peer order reaches the decision process's candidate list.
-    ebgp_in: FxHashMap<Ipv4Prefix, BTreeMap<u32, EbgpRoute>>,
-    /// Distinct eBGP session addresses ever seen (sessions outlive the
-    /// routes they advertise; used for export accounting).
-    ebgp_sessions: BTreeSet<u32>,
-    /// Locally-originated prefixes.
-    local_prefixes: BTreeSet<Ipv4Prefix>,
-    /// Prefixes this node has *ever* originated or learned over eBGP
-    /// (sticky). For these, the client role stores the full received
-    /// path set instead of its reduced best: a reduced set could drop
-    /// exactly the route that MED-eliminates one of our own routes,
-    /// silently diverging from full-mesh semantics. Pure control-plane
-    /// nodes never hit this and keep the paper's §3.4 one-best-per-RR
-    /// storage, which is what the Appendix A client accounting counts.
-    own_ever: BTreeSet<Ipv4Prefix>,
-    /// Client-role iBGP Adj-RIB-In for the mesh/ABRR planes (reduced
-    /// to best-per-peer for multi-path senders, per paper §3.4).
-    client_in: AdjRibIn,
-    /// Client-role Adj-RIB-In for the TBRR plane. Kept separate so the
-    /// §2.4 transition can accept one plane per AP even when the same
-    /// physical router is both an ARR and a TRR.
-    client_in_tbrr: AdjRibIn,
-    /// ARR-role Adj-RIB-In (managed routes).
-    arr_in: AdjRibIn,
-    /// TRR-role Adj-RIB-In.
-    trr_in: AdjRibIn,
-    /// Adj-RIB-Out, one copy per peer group.
-    out: AdjRibOut,
-    /// Selected routes.
-    loc_rib: LocRib<Selected>,
-    /// Per-peer MRAI pacing, keyed by (plane, prefix).
-    mrai: BTreeMap<RouterId, Mrai<(Plane, Ipv4Prefix), BgpMsg>>,
+    /// Shared infrastructure: spec, RIB-Out, Loc-RIB, counters, MRAI.
+    ch: Chassis,
+    /// eBGP ingestion, local origination, own-route stickiness.
+    border: BorderRole,
+    /// Per-plane client Adj-RIB-Ins + §3.4 storage policy.
+    client: ClientRole,
+    /// AP-managed routes, best-AS-level reflection.
+    arr: ArrRole,
+    /// Cluster reflection (RFC 4456).
+    trr: TrrRole,
     /// Input work queue (update batching; see
     /// [`NetworkSpec::proc_delay_base_us`]). Empty when the processing
     /// delay is zero.
     inbox: Vec<(RouterId, BgpMsg)>,
-    /// Update accounting.
-    counters: UpdateCounters,
-    /// Per-prefix best-route change counts (oscillation diagnostics:
-    /// a prefix whose selection keeps flipping is oscillating).
-    selection_changes: FxHashMap<Ipv4Prefix, u64>,
-    /// Runtime AP→ARR reassignments (paper §2.2: the assignment "can be
-    /// changed when needed"). Overrides the spec's static assignment;
-    /// treated as configuration, so it survives a crash-restart.
-    arr_override: BTreeMap<ApId, Vec<RouterId>>,
 }
 
 impl BgpNode {
     /// Creates a node and materializes its peer groups from the spec.
     pub fn new(id: RouterId, spec: Arc<NetworkSpec>) -> Self {
-        let arr_aps = spec.arr_aps_of(id);
-        let trr_clusters = spec.trr_clusters_of(id);
-        let my_trrs = spec.trrs_of_client(id);
-        let accept_abrr = match spec.mode {
-            Mode::Abrr => spec
-                .ap_map
-                .as_ref()
-                .map(|m| m.partitions().iter().map(|p| p.id).collect())
-                .unwrap_or_default(),
-            _ => BTreeSet::new(),
-        };
-        let mut out = AdjRibOut::new();
-        match spec.mode {
-            Mode::FullMesh => {
-                let members: Vec<RouterId> =
-                    spec.all_nodes().into_iter().filter(|n| *n != id).collect();
-                out.define_group(group::MESH, members);
-            }
-            _ => {
-                if spec.mode.has_abrr() {
-                    if let Some(map) = &spec.ap_map {
-                        for part in map.partitions() {
-                            let ap = part.id;
-                            out.define_group(
-                                group::CLIENT_TO_ARRS + ap.0 as u32,
-                                spec.arrs_of(ap).to_vec(),
-                            );
-                        }
-                    }
-                    for ap in &arr_aps {
-                        // "to all clients (excluding other ARRs for the
-                        // same AP)" — Appendix A.1.
-                        let co_arrs = spec.arrs_of(*ap).to_vec();
-                        let members: Vec<RouterId> = spec
-                            .client_role_nodes()
-                            .into_iter()
-                            .filter(|n| *n != id && !co_arrs.contains(n))
-                            .collect();
-                        out.define_group(group::ARR_TO_CLIENTS + ap.0 as u32, members);
-                    }
-                }
-                if spec.mode.has_tbrr() {
-                    if !my_trrs.is_empty() {
-                        out.define_group(group::CLIENT_TO_TRRS, my_trrs.clone());
-                    }
-                    if !trr_clusters.is_empty() {
-                        out.define_group(group::TRR_TO_CLIENTS, spec.clients_of_trr(id));
-                        let peers: Vec<RouterId> =
-                            spec.all_trrs().into_iter().filter(|t| *t != id).collect();
-                        out.define_group(group::TRR_TO_PEERS, peers);
-                    }
-                }
-            }
-        }
+        let mut ch = Chassis::new(id, spec.clone());
+        let border = BorderRole::new();
+        let client = ClientRole::new(id, &spec);
+        let arr = ArrRole::new(id, &spec);
+        let trr = TrrRole::new(id, &spec);
+        client.install_groups(&mut ch);
+        arr.install_groups(&mut ch);
+        trr.install_groups(&mut ch);
         BgpNode {
-            id,
-            spec,
-            arr_aps,
-            trr_clusters,
-            my_trrs,
-            accept_abrr,
-            ebgp_in: FxHashMap::default(),
-            ebgp_sessions: BTreeSet::new(),
-            local_prefixes: BTreeSet::new(),
-            own_ever: BTreeSet::new(),
-            client_in: AdjRibIn::new(),
-            client_in_tbrr: AdjRibIn::new(),
-            arr_in: AdjRibIn::new(),
-            trr_in: AdjRibIn::new(),
-            out,
-            loc_rib: LocRib::new(),
-            mrai: BTreeMap::new(),
+            ch,
+            border,
+            client,
+            arr,
+            trr,
             inbox: Vec::new(),
-            counters: UpdateCounters::default(),
-            selection_changes: FxHashMap::default(),
-            arr_override: BTreeMap::new(),
         }
     }
 
@@ -222,19 +120,26 @@ impl BgpNode {
     /// 32-bit router ids, so this cannot collide).
     const INBOX_TOKEN: u64 = u64::MAX;
 
+    /// The role set in candidate-gathering order (border exits first,
+    /// then the client planes, then the reflector tables) — the order
+    /// reaches the decision process's tie-breaking, so it is fixed.
+    fn roles(&self) -> [&dyn Role; 4] {
+        [&self.border, &self.client, &self.arr, &self.trr]
+    }
+
     /// This node's id.
     pub fn id(&self) -> RouterId {
-        self.id
+        self.ch.id
     }
 
     /// Whether this node is an ARR for any AP.
     pub fn is_arr(&self) -> bool {
-        !self.arr_aps.is_empty()
+        !self.arr.aps().is_empty()
     }
 
     /// Whether this node is a TRR for any cluster.
     pub fn is_trr(&self) -> bool {
-        !self.trr_clusters.is_empty()
+        !self.trr.clusters().is_empty()
     }
 
     /// Whether this node currently holds an eBGP or locally-originated
@@ -242,69 +147,65 @@ impl BgpNode {
     /// for it (resilience auditors use this as ground-truth
     /// reachability).
     pub fn originates(&self, prefix: &Ipv4Prefix) -> bool {
-        self.local_prefixes.contains(prefix) || self.ebgp_in.contains_key(prefix)
+        self.border.originates(prefix)
     }
 
     /// Update accounting so far.
     pub fn counters(&self) -> &UpdateCounters {
-        &self.counters
+        &self.ch.counters
     }
 
     /// Total Adj-RIB-In entries (the paper's RIB-In metric): eBGP +
     /// client-role + ARR-role (managed) + TRR-role tables.
     pub fn rib_in_size(&self) -> usize {
-        let ebgp: usize = self.ebgp_in.values().map(|m| m.len()).sum();
-        ebgp + self.client_in.num_entries()
-            + self.client_in_tbrr.num_entries()
-            + self.arr_in.num_entries()
-            + self.trr_in.num_entries()
+        self.roles().iter().map(|r| r.rib_in_entries()).sum()
     }
 
     /// Total Adj-RIB-Out entries (one copy per peer group).
     pub fn rib_out_size(&self) -> usize {
-        self.out.num_entries()
+        self.ch.out.num_entries()
     }
 
     /// The node's current selection for `prefix`.
     pub fn selected(&self, prefix: &Ipv4Prefix) -> Option<&Selected> {
-        self.loc_rib.get(prefix)
+        self.ch.loc_rib.get(prefix)
     }
 
     /// Iterates all selections.
     pub fn selections(&self) -> impl Iterator<Item = (&Ipv4Prefix, &Selected)> {
-        self.loc_rib.iter()
+        self.ch.loc_rib.iter()
     }
 
     /// Longest-prefix match against the Loc-RIB (data-plane lookup).
     pub fn fib_lookup(&self, addr: u32) -> Option<(Ipv4Prefix, &Selected)> {
-        self.loc_rib.lookup(addr)
+        self.ch.loc_rib.lookup(addr)
     }
 
     /// Number of selected prefixes.
     pub fn loc_rib_len(&self) -> usize {
-        self.loc_rib.len()
+        self.ch.loc_rib.len()
     }
 
     /// ARR-role (managed) Adj-RIB-In entries — the paper's
     /// S^m_RIB-In_ARR.
     pub fn arr_in_entries(&self) -> usize {
-        self.arr_in.num_entries()
+        self.arr.rib_in_entries()
     }
 
     /// Client-role Adj-RIB-In entries — for an ARR this is the paper's
     /// S^u_RIB-In_ARR (unmanaged routes).
     pub fn client_in_entries(&self) -> usize {
-        self.client_in.num_entries() + self.client_in_tbrr.num_entries()
+        self.client.rib_in_entries()
     }
 
     /// TRR-role Adj-RIB-In entries.
     pub fn trr_in_entries(&self) -> usize {
-        self.trr_in.num_entries()
+        self.trr.rib_in_entries()
     }
 
     /// eBGP Adj-RIB-In entries.
     pub fn ebgp_entries(&self) -> usize {
-        self.ebgp_in.values().map(|m| m.len()).sum()
+        self.border.ebgp_entries()
     }
 
     /// The client-role paths currently stored from `peer` for `prefix`
@@ -314,24 +215,20 @@ impl BgpNode {
         peer: RouterId,
         prefix: &Ipv4Prefix,
     ) -> &[(PathId, Arc<PathAttributes>)] {
-        let mesh_abrr = self.client_in.paths(peer, prefix);
-        if mesh_abrr.is_empty() {
-            self.client_in_tbrr.paths(peer, prefix)
-        } else {
-            mesh_abrr
-        }
+        self.client.paths_from(peer, prefix)
     }
 
     /// How many times this node's selection for `prefix` has changed —
     /// the oscillation-diagnostic signal (a converged network's counts
     /// stop growing; an oscillating prefix's counts grow forever).
     pub fn selection_changes(&self, prefix: &Ipv4Prefix) -> u64 {
-        self.selection_changes.get(prefix).copied().unwrap_or(0)
+        self.ch.selection_changes.get(prefix).copied().unwrap_or(0)
     }
 
     /// Iterates per-prefix selection-change counts, in prefix order.
     pub fn all_selection_changes(&self) -> impl Iterator<Item = (&Ipv4Prefix, u64)> {
         let mut v: Vec<(&Ipv4Prefix, u64)> = self
+            .ch
             .selection_changes
             .iter()
             .map(|(p, c)| (p, *c))
@@ -348,20 +245,9 @@ impl BgpNode {
     /// trip.
     pub fn backup_route(&self, prefix: &Ipv4Prefix) -> Option<Selected> {
         let primary = self.selected(prefix)?.exit_router();
-        let mut cands: Vec<Candidate> = Vec::new();
-        for rib in [&self.client_in, &self.client_in_tbrr] {
-            for (peer, _pid, attrs) in rib.all_paths(prefix) {
-                if RouterId(attrs.next_hop.0) != primary {
-                    cands.push(Candidate {
-                        attrs: attrs.clone(),
-                        source: RouteSource::Ibgp { peer },
-                        neighbor_id: peer.0,
-                    });
-                }
-            }
-        }
-        let igp = self.igp_metric_fn();
-        let best = best_path(&cands, &self.spec.decision, &igp)?;
+        let cands = self.client.backup_candidates(prefix, primary);
+        let igp = self.ch.igp_metric_fn();
+        let best = best_path(&cands, &self.ch.spec.decision, &igp)?;
         drop(igp);
         Some(Selected {
             attrs: cands[best].attrs.clone(),
@@ -376,7 +262,7 @@ impl BgpNode {
         peer: RouterId,
         prefix: &Ipv4Prefix,
     ) -> &[(PathId, Arc<PathAttributes>)] {
-        self.arr_in.paths(peer, prefix)
+        self.arr.paths_from(peer, prefix)
     }
 
     // ------------------------------------------------------------------
@@ -390,663 +276,41 @@ impl BgpNode {
     fn classify(&self, from: RouterId, plane: Plane, prefix: &Ipv4Prefix) -> InputKind {
         match plane {
             Plane::Mesh => {
-                if self.spec.mode == Mode::FullMesh {
+                if self.ch.spec.mode == Mode::FullMesh {
                     InputKind::Client
                 } else {
                     InputKind::Unexpected
                 }
             }
             Plane::Abrr => {
-                if !self.spec.mode.has_abrr() {
+                if !self.ch.spec.mode.has_abrr() {
                     return InputKind::Unexpected;
                 }
-                if self.is_arr_for_prefix(from, prefix) {
+                if self.ch.is_arr_for_prefix(from, prefix) {
                     return InputKind::Client;
                 }
-                if self.arr_aps.iter().any(|ap| self.ap_covers(*ap, prefix)) {
+                if self
+                    .arr
+                    .aps()
+                    .iter()
+                    .any(|ap| self.ch.ap_covers(*ap, prefix))
+                {
                     return InputKind::Arr;
                 }
                 InputKind::Unexpected
             }
             Plane::Tbrr => {
-                if !self.spec.mode.has_tbrr() {
+                if !self.ch.spec.mode.has_tbrr() {
                     return InputKind::Unexpected;
                 }
-                if !self.trr_clusters.is_empty() {
+                if !self.trr.clusters().is_empty() {
                     return InputKind::Trr;
                 }
-                if self.my_trrs.contains(&from) {
+                if self.client.my_trrs().contains(&from) {
                     return InputKind::Client;
                 }
                 InputKind::Unexpected
             }
-        }
-    }
-
-    /// The ARRs currently responsible for `ap`: a runtime reassignment
-    /// overrides the spec's static assignment.
-    fn arrs_of(&self, ap: ApId) -> &[RouterId] {
-        self.arr_override
-            .get(&ap)
-            .map(|v| v.as_slice())
-            .unwrap_or_else(|| self.spec.arrs_of(ap))
-    }
-
-    /// Whether `r` is (currently) an ARR for an AP covering `prefix`.
-    fn is_arr_for_prefix(&self, r: RouterId, prefix: &Ipv4Prefix) -> bool {
-        if self.arr_override.is_empty() {
-            return self.spec.is_arr_for_prefix(r, prefix);
-        }
-        self.aps_for_prefix(prefix)
-            .iter()
-            .any(|ap| self.arrs_of(*ap).contains(&r))
-    }
-
-    fn ap_covers(&self, ap: ApId, prefix: &Ipv4Prefix) -> bool {
-        self.spec
-            .ap_map
-            .as_ref()
-            .and_then(|m| m.partition(ap))
-            .map(|p| p.covers(prefix))
-            .unwrap_or(false)
-    }
-
-    fn aps_for_prefix(&self, prefix: &Ipv4Prefix) -> Vec<ApId> {
-        self.spec
-            .ap_map
-            .as_ref()
-            .map(|m| m.aps_for_prefix(prefix))
-            .unwrap_or_default()
-    }
-
-    /// Transition rule: ABRR routes for `prefix` are accepted when every
-    /// AP covering it has been cut over (a spanning prefix flips only
-    /// when all its APs have).
-    fn use_abrr_for(&self, prefix: &Ipv4Prefix) -> bool {
-        match self.spec.mode {
-            Mode::Abrr => true,
-            Mode::Transition => {
-                let aps = self.aps_for_prefix(prefix);
-                !aps.is_empty() && aps.iter().all(|ap| self.accept_abrr.contains(ap))
-            }
-            _ => false,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Candidate gathering + decision
-    // ------------------------------------------------------------------
-
-    fn igp_metric_fn(&self) -> impl Fn(NextHop) -> Option<u32> + '_ {
-        let me = self.id;
-        let oracle = &self.spec.oracle;
-        move |nh: NextHop| oracle.distance(me, RouterId(nh.0))
-    }
-
-    /// Gathers this node's own view of candidates for `prefix`,
-    /// applying transition acceptance filtering.
-    fn own_candidates(&self, prefix: &Ipv4Prefix) -> Vec<Candidate> {
-        let mut v = Vec::new();
-        if self.local_prefixes.contains(prefix) {
-            v.push(Candidate {
-                attrs: intern(PathAttributes::local(NextHop(self.id.0))),
-                source: RouteSource::Local,
-                neighbor_id: self.id.0,
-            });
-        }
-        if let Some(peers) = self.ebgp_in.get(prefix) {
-            for (peer_addr, r) in peers {
-                v.push(Candidate {
-                    attrs: r.attrs.clone(),
-                    source: RouteSource::Ebgp {
-                        peer_as: r.peer_as,
-                        peer_addr: *peer_addr,
-                    },
-                    neighbor_id: *peer_addr,
-                });
-            }
-        }
-        let use_abrr = self.use_abrr_for(prefix);
-        // Mesh/ABRR-plane routes: accepted except for a transition
-        // router whose AP has not been cut over yet.
-        let accept_mesh_abrr = match self.spec.mode {
-            Mode::FullMesh | Mode::Abrr => true,
-            Mode::Tbrr { .. } => false,
-            Mode::Transition => use_abrr,
-        };
-        if accept_mesh_abrr {
-            for (peer, _pid, attrs) in self.client_in.all_paths(prefix) {
-                v.push(Candidate {
-                    attrs: attrs.clone(),
-                    source: RouteSource::Ibgp { peer },
-                    neighbor_id: peer.0,
-                });
-            }
-        }
-        // TBRR-plane routes: accepted in TBRR mode, or pre-cutover in
-        // transition.
-        let accept_tbrr = match self.spec.mode {
-            Mode::Tbrr { .. } => true,
-            Mode::Transition => !use_abrr,
-            _ => false,
-        };
-        if accept_tbrr {
-            for (peer, _pid, attrs) in self.client_in_tbrr.all_paths(prefix) {
-                v.push(Candidate {
-                    attrs: attrs.clone(),
-                    source: RouteSource::Ibgp { peer },
-                    neighbor_id: peer.0,
-                });
-            }
-        }
-        // An ARR's client function sees its managed routes internally
-        // (the "logical pass" of §2.1) rather than via a session. Its
-        // OWN advertisements are excluded: a router never receives its
-        // own route back in full-mesh ("not returned to sender"), and
-        // considering the echo here can wedge the node on a stale copy
-        // of a route it has since withdrawn (its real eBGP/local routes
-        // already entered the candidate set above).
-        if self.spec.mode.has_abrr()
-            && (self.spec.mode == Mode::Abrr || use_abrr)
-            && self.arr_aps.iter().any(|ap| self.ap_covers(*ap, prefix))
-        {
-            for (peer, _pid, attrs) in self.arr_in.all_paths(prefix) {
-                if peer == self.id {
-                    continue;
-                }
-                v.push(Candidate {
-                    attrs: attrs.clone(),
-                    source: RouteSource::Ibgp { peer },
-                    neighbor_id: peer.0,
-                });
-            }
-        }
-        // A TRR's forwarding view includes its TRR-role table.
-        if !self.trr_clusters.is_empty() && !use_abrr {
-            for (peer, _pid, attrs) in self.trr_in.all_paths(prefix) {
-                v.push(Candidate {
-                    attrs: attrs.clone(),
-                    source: RouteSource::Ibgp { peer },
-                    neighbor_id: peer.0,
-                });
-            }
-        }
-        v
-    }
-
-    /// Picks the best candidate and updates the Loc-RIB. Returns the
-    /// winner (cloned) if any.
-    fn select(&mut self, prefix: Ipv4Prefix, cands: &[Candidate]) -> Option<Selected> {
-        let igp = self.igp_metric_fn();
-        let best = best_path(cands, &self.spec.decision, &igp);
-        drop(igp);
-        let selected = best.map(|i| Selected {
-            attrs: cands[i].attrs.clone(),
-            source: cands[i].source,
-            neighbor_id: cands[i].neighbor_id,
-        });
-        if self.loc_rib.set(prefix, selected.clone()) {
-            *self.selection_changes.entry(prefix).or_default() += 1;
-        }
-        selected
-    }
-
-    // ------------------------------------------------------------------
-    // Transmission with MRAI
-    // ------------------------------------------------------------------
-
-    fn transmit(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId, msg: BgpMsg) {
-        if peer == self.id {
-            return;
-        }
-        let interval = self.spec.mrai_us;
-        let mrai = self.mrai.entry(peer).or_insert_with(|| Mrai::new(interval));
-        match mrai.offer(ctx.now(), (msg.plane, msg.prefix), msg) {
-            MraiVerdict::SendNow(msg) => self.do_send(ctx, peer, msg),
-            MraiVerdict::Deferred {
-                flush_at,
-                need_timer,
-            } => {
-                if need_timer {
-                    ctx.set_timer(flush_at, peer.0 as u64);
-                }
-            }
-        }
-    }
-
-    fn do_send(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId, msg: BgpMsg) {
-        self.counters.transmitted += 1;
-        if self.spec.account_bytes {
-            self.counters.bytes_transmitted += msg.wire_bytes(true) as u64;
-        }
-        ctx.send(peer, msg);
-    }
-
-    /// Writes `paths` into RIB-Out `g` for `prefix`; on change, counts a
-    /// generation and transmits each member its *effective* set: the
-    /// group set minus routes that originated at the member, and empty
-    /// for a member matched by `suppress` (the Table 1 "not returned to
-    /// sender" exception). A member whose effective set is empty still
-    /// receives the (possibly redundant) withdrawal — it may hold a
-    /// previously advertised route that this change retracts; receivers
-    /// deduplicate via replace-set change detection.
-    fn advertise(
-        &mut self,
-        ctx: &mut Ctx<BgpMsg>,
-        g: u32,
-        prefix: Ipv4Prefix,
-        plane: Plane,
-        paths: PathSet,
-        suppress: impl Fn(RouterId) -> bool,
-    ) {
-        if !self.out.set_paths(g, prefix, paths.clone()) {
-            return;
-        }
-        self.counters.generated += 1;
-        let full: Arc<PathSet> = Arc::new(paths);
-        let empty: Arc<PathSet> = Arc::new(Vec::new());
-        // Only members that originated one of the paths need a filtered
-        // copy; everyone else shares the one full set.
-        let originators: Vec<u32> = full
-            .iter()
-            .filter_map(|(_, a)| a.originator_id.map(|o| o.0))
-            .collect();
-        let members = self.out.members(g).to_vec();
-        for m in members {
-            if m == self.id {
-                // Internal logical pass: the ARR function of this very
-                // router (only arises for client→own-ARR advertisement,
-                // handled by the caller).
-                continue;
-            }
-            let effective: Arc<PathSet> = if suppress(m) {
-                empty.clone()
-            } else if originators.contains(&m.0) {
-                Arc::new(
-                    full.iter()
-                        .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(m.0))
-                        .cloned()
-                        .collect(),
-                )
-            } else {
-                full.clone()
-            };
-            self.transmit(
-                ctx,
-                m,
-                BgpMsg {
-                    prefix,
-                    paths: effective,
-                    plane,
-                },
-            );
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Client role
-    // ------------------------------------------------------------------
-
-    /// Prepares a client's own best route for iBGP injection.
-    fn prep_for_ibgp(&self, sel: &Selected) -> Arc<PathAttributes> {
-        if sel.attrs.local_pref.is_some() {
-            // Already in iBGP form — share the existing allocation.
-            return sel.attrs.clone();
-        }
-        let mut a = (*sel.attrs).clone();
-        a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
-        // Next-hop-self was applied at eBGP ingestion; local routes
-        // already point at us.
-        intern(a)
-    }
-
-    /// Client-role receive: reduce multi-path sets to our single best
-    /// (paper §3.4) and store per sender. Returns whether stored state
-    /// changed (the caller recomputes).
-    fn client_apply(
-        &mut self,
-        from: RouterId,
-        plane: Plane,
-        prefix: Ipv4Prefix,
-        paths: PathSet,
-    ) -> bool {
-        let before = paths.len();
-        let mut paths: PathSet = paths
-            .into_iter()
-            .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(self.id.0))
-            .collect();
-        self.counters.loop_prevented += (before - paths.len()) as u64;
-        if paths.len() > 1 && !self.own_ever.contains(&prefix) {
-            let cands: Vec<Candidate> = paths
-                .iter()
-                .map(|(_, a)| Candidate {
-                    attrs: a.clone(),
-                    source: RouteSource::Ibgp { peer: from },
-                    neighbor_id: from.0,
-                })
-                .collect();
-            let igp = self.igp_metric_fn();
-            let best = best_path(&cands, &self.spec.decision, &igp);
-            // §3.2/§3.4 extension: optionally retain the runner-up as a
-            // pre-installed fast-reroute backup.
-            let backup = if self.spec.clients_keep_backups {
-                best.and_then(|b| {
-                    let rest: Vec<Candidate> = cands
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| *i != b)
-                        .map(|(_, c)| c.clone())
-                        .collect();
-                    best_path(&rest, &self.spec.decision, &igp).map(|j| {
-                        // Map back to the original index.
-                        let mut k = 0;
-                        let mut orig = 0;
-                        for i in 0..cands.len() {
-                            if i == b {
-                                continue;
-                            }
-                            if k == j {
-                                orig = i;
-                                break;
-                            }
-                            k += 1;
-                        }
-                        orig
-                    })
-                })
-            } else {
-                None
-            };
-            drop(igp);
-            paths = match (best, backup) {
-                (Some(i), Some(j)) => vec![paths[i].clone(), paths[j].clone()],
-                (Some(i), None) => vec![paths[i].clone()],
-                (None, _) => Vec::new(),
-            };
-        }
-        let rib = match plane {
-            Plane::Tbrr => &mut self.client_in_tbrr,
-            Plane::Mesh | Plane::Abrr => &mut self.client_in,
-        };
-        rib.set_paths(from, prefix, paths)
-    }
-
-    /// The client function's advertisement step (Table 1 rows
-    /// "Client → ARR" / "Client → TRR" / full-mesh row): advertise the
-    /// best route iff it is other-learned; withdraw otherwise.
-    fn client_advertise(
-        &mut self,
-        ctx: &mut Ctx<BgpMsg>,
-        prefix: Ipv4Prefix,
-        sel: Option<&Selected>,
-    ) {
-        let adv: PathSet = match sel {
-            Some(s) if s.source.is_other_learned() => {
-                vec![(PathId(self.id.0), self.prep_for_ibgp(s))]
-            }
-            _ => Vec::new(),
-        };
-        let adv_shared: Arc<PathSet> = Arc::new(adv.clone());
-        match self.spec.mode {
-            Mode::FullMesh => {
-                self.advertise(ctx, group::MESH, prefix, Plane::Mesh, adv, |_| false);
-            }
-            _ => {
-                if self.spec.mode.has_abrr() {
-                    for ap in self.aps_for_prefix(&prefix) {
-                        let g = group::CLIENT_TO_ARRS + ap.0 as u32;
-                        let changed = self.out.set_paths(g, prefix, adv.clone());
-                        if !changed {
-                            continue;
-                        }
-                        self.counters.generated += 1;
-                        for arr in self.out.members(g).to_vec() {
-                            if arr == self.id {
-                                // Logical pass to our own ARR function.
-                                self.arr_input_internal(ctx, prefix, (*adv_shared).clone());
-                            } else {
-                                self.transmit(
-                                    ctx,
-                                    arr,
-                                    BgpMsg {
-                                        prefix,
-                                        paths: adv_shared.clone(),
-                                        plane: Plane::Abrr,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                if self.spec.mode.has_tbrr()
-                    && self.trr_clusters.is_empty()
-                    && !self.my_trrs.is_empty()
-                {
-                    self.advertise(ctx, group::CLIENT_TO_TRRS, prefix, Plane::Tbrr, adv, |_| {
-                        false
-                    });
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // ARR role (paper §2.1, Table 1 right column)
-    // ------------------------------------------------------------------
-
-    /// ARR-role input arriving over a session. Returns whether managed
-    /// state changed.
-    fn arr_apply(&mut self, from: RouterId, prefix: Ipv4Prefix, paths: PathSet) -> bool {
-        // Loop prevention (§2.3.2): an update already reflected by an
-        // ARR must never be reflected again. The paper's single marker
-        // bit stops it at the first re-reflection; CLUSTER_LIST lets it
-        // circulate once before the stamping ARR recognizes its own id.
-        let looped = match self.spec.abrr_loop_prevention {
-            AbrrLoopPrevention::ReflectedBit => paths.iter().any(|(_, a)| a.is_abrr_reflected()),
-            AbrrLoopPrevention::ClusterList => paths
-                .iter()
-                .any(|(_, a)| a.cluster_list.contains(&ClusterId(self.id.0))),
-            AbrrLoopPrevention::None => false,
-        };
-        if looped {
-            self.counters.loop_prevented += 1;
-            return false;
-        }
-        self.arr_in.set_paths(from, prefix, paths)
-    }
-
-    /// Internal logical pass from this router's own client function.
-    fn arr_input_internal(&mut self, ctx: &mut Ctx<BgpMsg>, prefix: Ipv4Prefix, paths: PathSet) {
-        if self.arr_in.set_paths(self.id, prefix, paths) {
-            self.arr_recompute(ctx, prefix);
-            // No client recompute here: the caller is our own client
-            // function, which already selected.
-        }
-    }
-
-    /// Recomputes the best AS-level route set for `prefix` and
-    /// advertises it to all clients (Table 1: "ARR → Client: best
-    /// AS-level routes, not returned to sender").
-    fn arr_recompute(&mut self, ctx: &mut Ctx<BgpMsg>, prefix: Ipv4Prefix) {
-        let cands: Vec<Candidate> = self
-            .arr_in
-            .all_paths(&prefix)
-            .map(|(peer, _pid, attrs)| Candidate {
-                attrs: attrs.clone(),
-                source: RouteSource::Ibgp { peer },
-                neighbor_id: peer.0,
-            })
-            .collect();
-        let surv = best_as_level(&cands, &self.spec.decision);
-        let set: PathSet = surv
-            .into_iter()
-            .map(|i| {
-                let c = &cands[i];
-                let mut a = (*c.attrs).clone();
-                // Stamp provenance so clients can tie-break by true
-                // originator and so the sender-exclusion works.
-                if a.originator_id.is_none() {
-                    a.originator_id = Some(OriginatorId(c.neighbor_id));
-                }
-                match self.spec.abrr_loop_prevention {
-                    AbrrLoopPrevention::ReflectedBit => {
-                        a = a.with_abrr_reflected();
-                    }
-                    AbrrLoopPrevention::ClusterList => {
-                        // RFC 4456 default: cluster id = router id.
-                        a.cluster_list.insert(0, ClusterId(self.id.0));
-                    }
-                    AbrrLoopPrevention::None => {}
-                }
-                (PathId(a.originator_id.expect("set").0), intern(a))
-            })
-            .collect();
-        for ap in self.arr_aps.clone() {
-            if !self.ap_covers(ap, &prefix) {
-                continue;
-            }
-            let g = group::ARR_TO_CLIENTS + ap.0 as u32;
-            // Suppress empty-to-empty churn; advertise() handles change
-            // detection and per-member originator filtering.
-            self.advertise(ctx, g, prefix, Plane::Abrr, set.clone(), |_| false);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // TRR role (paper Table 1 left column; RFC 4456)
-    // ------------------------------------------------------------------
-
-    /// TRR-role input. Returns whether stored state changed.
-    fn trr_apply(&mut self, from: RouterId, prefix: Ipv4Prefix, paths: PathSet) -> bool {
-        let before = paths.len();
-        let kept: PathSet = paths
-            .into_iter()
-            .filter(|(_, a)| {
-                let cluster_loop = a
-                    .cluster_list
-                    .iter()
-                    .any(|c| self.trr_clusters.contains(&c.0));
-                let self_origin = a.originator_id.map(|o| o.0) == Some(self.id.0);
-                !(cluster_loop || self_origin)
-            })
-            .collect();
-        self.counters.loop_prevented += (before - kept.len()) as u64;
-        self.trr_in.set_paths(from, prefix, kept)
-    }
-
-    /// Builds the TRR's reflected version of a route: ORIGINATOR_ID set
-    /// to the injecting router, our cluster id(s) prepended.
-    fn reflect_attrs(&self, c: &Candidate) -> Arc<PathAttributes> {
-        let mut a = (*c.attrs).clone();
-        if a.local_pref.is_none() {
-            a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
-        }
-        if a.originator_id.is_none() {
-            a.originator_id = Some(OriginatorId(c.neighbor_id));
-        }
-        for cid in self.trr_clusters.iter().rev() {
-            a.cluster_list.insert(0, ClusterId(*cid));
-        }
-        intern(a)
-    }
-
-    /// TRR advertisement per Table 1 (single-path) or Appendix A.3
-    /// (multi-path). `cands` is the TBRR-plane candidate set; `best`
-    /// the TRR's own selection among them.
-    fn trr_advertise(
-        &mut self,
-        ctx: &mut Ctx<BgpMsg>,
-        prefix: Ipv4Prefix,
-        cands: &[Candidate],
-        best: Option<usize>,
-    ) {
-        let my_clients = self.out.members(group::TRR_TO_CLIENTS).to_vec();
-        let from_client_side = |c: &Candidate| match c.source {
-            RouteSource::Ibgp { peer } => my_clients.contains(&peer),
-            RouteSource::Ebgp { .. } | RouteSource::Local => true,
-        };
-        if self.spec.mode.tbrr_multipath() {
-            // Multi-path TBRR (Appendix A.3): all best AS-level routes
-            // go to clients; the client-side best AS-level routes go to
-            // other TRRs.
-            let surv = best_as_level(cands, &self.spec.decision);
-            let to_clients: PathSet = surv
-                .iter()
-                .map(|&i| {
-                    let a = self.reflect_attrs(&cands[i]);
-                    (PathId(a.originator_id.expect("set").0), a)
-                })
-                .collect();
-            let client_side: Vec<Candidate> = cands
-                .iter()
-                .filter(|c| from_client_side(c))
-                .cloned()
-                .collect();
-            let surv_cs = best_as_level(&client_side, &self.spec.decision);
-            let to_peers: PathSet = surv_cs
-                .iter()
-                .map(|&i| {
-                    let a = self.reflect_attrs(&client_side[i]);
-                    (PathId(a.originator_id.expect("set").0), a)
-                })
-                .collect();
-            self.advertise(
-                ctx,
-                group::TRR_TO_CLIENTS,
-                prefix,
-                Plane::Tbrr,
-                to_clients,
-                |_| false,
-            );
-            self.advertise(
-                ctx,
-                group::TRR_TO_PEERS,
-                prefix,
-                Plane::Tbrr,
-                to_peers,
-                |_| false,
-            );
-        } else {
-            // Single-path TBRR: reflect the single best route. If it was
-            // learned from a client (or eBGP/local), it goes to both
-            // clients and TRRs; if from a non-client, to clients only.
-            let (to_clients, to_peers, sender): (PathSet, PathSet, Option<RouterId>) = match best {
-                Some(i) => {
-                    let c = &cands[i];
-                    let a = self.reflect_attrs(c);
-                    let entry = vec![(PathId(a.originator_id.expect("set").0), a)];
-                    let sender = match c.source {
-                        RouteSource::Ibgp { peer } => Some(peer),
-                        _ => None,
-                    };
-                    if from_client_side(c) {
-                        (entry.clone(), entry, sender)
-                    } else {
-                        (entry, Vec::new(), sender)
-                    }
-                }
-                None => (Vec::new(), Vec::new(), None),
-            };
-            // "not returned to sender": skip the client we learned the
-            // best route from (originator filtering inside advertise()
-            // covers the common case; `sender` covers multi-hop
-            // reflection where originator != sender).
-            self.advertise(
-                ctx,
-                group::TRR_TO_CLIENTS,
-                prefix,
-                Plane::Tbrr,
-                to_clients,
-                |m| Some(m) == sender,
-            );
-            self.advertise(
-                ctx,
-                group::TRR_TO_PEERS,
-                prefix,
-                Plane::Tbrr,
-                to_peers,
-                |m| Some(m) == sender,
-            );
         }
     }
 
@@ -1055,113 +319,37 @@ impl BgpNode {
     // ------------------------------------------------------------------
 
     fn recompute(&mut self, ctx: &mut Ctx<BgpMsg>, prefix: Ipv4Prefix) {
-        let cands = self.own_candidates(&prefix);
-        let before = self.loc_rib.get(&prefix).cloned();
-        let sel = self.select(prefix, &cands);
-        // Table 1, "Client → eBGP Neighbor: all best routes (not
-        // returned to sender)". External peers are not simulated; count
-        // the exports a border router would emit: one per eBGP session,
-        // minus the session the best was learned from.
-        if sel != before {
-            let n_sessions = self.ebgp_sessions.len() as u64;
-            if n_sessions > 0 {
-                let learned_here = matches!(
-                    sel.as_ref().map(|s| s.source),
-                    Some(RouteSource::Ebgp { .. })
-                ) as u64;
-                self.counters.ebgp_exported += n_sessions.saturating_sub(learned_here);
-            }
-        }
+        // Candidate gather, fixed order: border exits, client planes,
+        // ARR managed view, TRR table. Order reaches tie-breaking.
+        let mut cands: Vec<Candidate> = Vec::new();
+        self.border.reselect(&self.ch, &prefix, &mut cands);
+        let n_exit = cands.len();
+        self.client.reselect(&self.ch, &prefix, &mut cands);
+        self.arr.reselect(&self.ch, &prefix, &mut cands);
+        self.trr.reselect(&self.ch, &prefix, &mut cands);
+        let before = self.ch.loc_rib.get(&prefix).cloned();
+        let sel = self.ch.select(prefix, &cands);
+        let sel_changed = sel != before;
+        let (exit_cands, _) = cands.split_at(n_exit);
+        let mut env = AdvertiseEnv {
+            sel: sel.as_ref(),
+            sel_changed,
+            exit_cands,
+            arr: Some(&mut self.arr),
+        };
+        // Border first (eBGP export accounting), then the client
+        // function, then the TRR function — monolith advertisement
+        // order, which MRAI pacing observes.
+        self.border.advertise(&mut self.ch, ctx, prefix, &mut env);
         // Client-function advertisement (suppressed for TRR nodes in
         // TBRR mode: a TRR's eBGP/local routes flow via TRR rules).
-        let is_pure_trr_plane = self.spec.mode.has_tbrr() && !self.trr_clusters.is_empty();
-        if !is_pure_trr_plane || self.spec.mode.has_abrr() {
-            self.client_advertise(ctx, prefix, sel.as_ref());
+        let is_pure_trr_plane = self.ch.spec.mode.has_tbrr() && !self.trr.clusters().is_empty();
+        if !is_pure_trr_plane || self.ch.spec.mode.has_abrr() {
+            self.client.advertise(&mut self.ch, ctx, prefix, &mut env);
         }
-        // TRR-function advertisement from the TBRR plane. For a pure
-        // TRR (plain TBRR mode) the candidate set it just selected from
-        // IS the TBRR plane, so reuse it instead of rebuilding.
-        if !self.trr_clusters.is_empty() && self.spec.mode.has_tbrr() {
-            if self.spec.mode == (Mode::Tbrr { multipath: false })
-                || self.spec.mode == (Mode::Tbrr { multipath: true })
-            {
-                let igp = self.igp_metric_fn();
-                let best = best_path(&cands, &self.spec.decision, &igp);
-                drop(igp);
-                self.trr_advertise(ctx, prefix, &cands, best);
-                return;
-            }
-            let mut tbrr_cands = Vec::new();
-            if self.local_prefixes.contains(&prefix) {
-                tbrr_cands.push(Candidate {
-                    attrs: intern(PathAttributes::local(NextHop(self.id.0))),
-                    source: RouteSource::Local,
-                    neighbor_id: self.id.0,
-                });
-            }
-            if let Some(peers) = self.ebgp_in.get(&prefix) {
-                for (peer_addr, r) in peers {
-                    tbrr_cands.push(Candidate {
-                        attrs: r.attrs.clone(),
-                        source: RouteSource::Ebgp {
-                            peer_as: r.peer_as,
-                            peer_addr: *peer_addr,
-                        },
-                        neighbor_id: *peer_addr,
-                    });
-                }
-            }
-            for (peer, _pid, attrs) in self.trr_in.all_paths(&prefix) {
-                tbrr_cands.push(Candidate {
-                    attrs: attrs.clone(),
-                    source: RouteSource::Ibgp { peer },
-                    neighbor_id: peer.0,
-                });
-            }
-            let igp = self.igp_metric_fn();
-            let best = best_path(&tbrr_cands, &self.spec.decision, &igp);
-            drop(igp);
-            self.trr_advertise(ctx, prefix, &tbrr_cands, best);
-        }
-    }
-
-    /// Re-sends our current Adj-RIB-Out toward a peer whose session
-    /// just re-established (BGP full-table re-advertisement).
-    fn resync_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
-        let plane_of_group = |g: u32| -> Plane {
-            if g == group::MESH {
-                Plane::Mesh
-            } else if (group::CLIENT_TO_ARRS..group::ARR_TO_CLIENTS + 1000).contains(&g) {
-                Plane::Abrr
-            } else {
-                Plane::Tbrr
-            }
-        };
-        let groups: Vec<u32> = self
-            .out
-            .group_ids()
-            .filter(|g| self.out.members(*g).contains(&peer))
-            .collect();
-        let mut to_send: Vec<BgpMsg> = Vec::new();
-        for g in groups {
-            let plane = plane_of_group(g);
-            for (prefix, set) in self.out.iter_group(g) {
-                let effective: PathSet = set
-                    .iter()
-                    .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(peer.0))
-                    .cloned()
-                    .collect();
-                if !effective.is_empty() {
-                    to_send.push(BgpMsg {
-                        prefix: *prefix,
-                        paths: Arc::new(effective),
-                        plane,
-                    });
-                }
-            }
-        }
-        for msg in to_send {
-            self.transmit(ctx, peer, msg);
+        // TRR-function advertisement from the TBRR plane.
+        if is_pure_trr_plane {
+            self.trr.advertise(&mut self.ch, ctx, prefix, &mut env);
         }
     }
 
@@ -1170,16 +358,15 @@ impl BgpNode {
     /// re-run decisions for the affected prefixes. Does NOT resync the
     /// Adj-RIB-Out — that happens on re-establishment.
     fn purge_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
-        self.mrai.remove(&peer);
+        self.ch.mrai.remove(&peer);
         self.inbox.retain(|(from, _)| *from != peer);
         let mut arr_affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
         let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-        affected.extend(self.client_in.drop_peer(peer));
-        affected.extend(self.client_in_tbrr.drop_peer(peer));
-        affected.extend(self.trr_in.drop_peer(peer));
-        arr_affected.extend(self.arr_in.drop_peer(peer));
+        affected.extend(self.client.drop_peer(peer));
+        affected.extend(self.trr.drop_peer(peer));
+        arr_affected.extend(self.arr.drop_peer(peer));
         for p in &arr_affected {
-            self.arr_recompute(ctx, *p);
+            self.arr.recompute(&mut self.ch, ctx, *p);
         }
         for p in arr_affected.into_iter().chain(affected) {
             self.recompute(ctx, p);
@@ -1192,16 +379,16 @@ impl BgpNode {
     /// sessions (ABRR wires every ARR to every node, so restricting
     /// reassignment targets to existing ARRs needs no new sessions).
     fn reassign_ap(&mut self, ctx: &mut Ctx<BgpMsg>, ap: ApId, new_arrs: Vec<RouterId>) {
-        if !self.spec.mode.has_abrr() {
+        if !self.ch.spec.mode.has_abrr() {
             return;
         }
-        let old_arrs = self.arrs_of(ap).to_vec();
+        let old_arrs = self.ch.arrs_of(ap).to_vec();
         if old_arrs == new_arrs {
             return;
         }
-        self.arr_override.insert(ap, new_arrs.clone());
-        let was_arr = self.arr_aps.contains(&ap);
-        let is_now_arr = new_arrs.contains(&self.id);
+        self.ch.arr_override.insert(ap, new_arrs.clone());
+        let was_arr = self.arr.aps().contains(&ap);
+        let is_now_arr = new_arrs.contains(&self.ch.id);
 
         // Client side: routes reflected by ARRs that lost the AP are no
         // longer valid (their withdrawals would no longer classify), so
@@ -1210,16 +397,10 @@ impl BgpNode {
         // re-feeds the new ARRs in full.
         let mut todo: BTreeSet<Ipv4Prefix> = BTreeSet::new();
         for arr in old_arrs.iter().filter(|a| !new_arrs.contains(a)) {
-            for p in self.client_in.known_prefixes() {
-                if self.ap_covers(ap, &p)
-                    && !self.client_in.paths(*arr, &p).is_empty()
-                    && self.client_in.withdraw(*arr, p)
-                {
-                    todo.insert(p);
-                }
-            }
+            todo.extend(self.client.drop_from_arr(&self.ch, ap, *arr));
         }
-        self.out
+        self.ch
+            .out
             .reset_group(group::CLIENT_TO_ARRS + ap.0 as u32, new_arrs.clone());
 
         // ARR side: a losing ARR withdraws everything it reflected for
@@ -1227,49 +408,23 @@ impl BgpNode {
         // ARR takes the role and opens an (empty) client group that
         // fills as clients re-advertise.
         if was_arr && !is_now_arr {
-            let g = group::ARR_TO_CLIENTS + ap.0 as u32;
-            let prefixes: Vec<Ipv4Prefix> = self.out.iter_group(g).map(|(p, _)| *p).collect();
-            for p in prefixes {
-                self.advertise(ctx, g, p, Plane::Abrr, Vec::new(), |_| false);
-            }
-            self.out.reset_group(g, Vec::new());
-            self.arr_aps.retain(|a| *a != ap);
-            // Managed routes kept only while some remaining role covers
-            // them (a prefix can span APs).
-            let peers: Vec<RouterId> = self.arr_in.peers().collect();
-            for p in self.arr_in.known_prefixes() {
-                let still_served = self.arr_aps.iter().any(|a2| self.ap_covers(*a2, &p));
-                if self.ap_covers(ap, &p) && !still_served {
-                    for peer in &peers {
-                        self.arr_in.withdraw(*peer, p);
-                    }
-                }
-            }
+            self.arr.lose_ap(&mut self.ch, ctx, ap);
         }
         if !was_arr && is_now_arr {
-            self.arr_aps.push(ap);
-            self.arr_aps.sort();
-            let members: Vec<RouterId> = self
-                .spec
-                .client_role_nodes()
-                .into_iter()
-                .filter(|n| *n != self.id && !new_arrs.contains(n))
-                .collect();
-            self.out
-                .reset_group(group::ARR_TO_CLIENTS + ap.0 as u32, members);
+            self.arr.gain_ap(&mut self.ch, ap, &new_arrs);
         }
 
         // Re-run every covered prefix: the client function re-feeds the
         // (possibly new) ARRs, and a gaining ARR reflects its managed
         // set as it arrives.
         for p in self.known_prefixes() {
-            if self.ap_covers(ap, &p) {
+            if self.ch.ap_covers(ap, &p) {
                 todo.insert(p);
             }
         }
         for p in todo {
             if is_now_arr {
-                self.arr_recompute(ctx, p);
+                self.arr.recompute(&mut self.ch, ctx, p);
             }
             self.recompute(ctx, p);
         }
@@ -1277,12 +432,10 @@ impl BgpNode {
 
     /// All prefixes this node currently knows from any source.
     fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = self.ebgp_in.keys().copied().collect();
-        v.extend(self.local_prefixes.iter().copied());
-        v.extend(self.client_in.known_prefixes());
-        v.extend(self.client_in_tbrr.known_prefixes());
-        v.extend(self.arr_in.known_prefixes());
-        v.extend(self.trr_in.known_prefixes());
+        let mut v: Vec<Ipv4Prefix> = Vec::new();
+        for role in self.roles() {
+            v.extend(role.known_prefixes());
+        }
         v.sort();
         v.dedup();
         v
@@ -1305,30 +458,38 @@ impl BgpNode {
                 plane,
             } = msg;
             let paths: PathSet = Arc::try_unwrap(paths).unwrap_or_else(|a| (*a).clone());
-            match self.classify(from, plane, &prefix) {
+            let kind = self.classify(from, plane, &prefix);
+            let rx = Rx {
+                from,
+                plane,
+                prefix,
+                paths,
+                own_ever: self.border.own_ever_contains(&prefix),
+            };
+            match kind {
                 InputKind::Client => {
-                    if self.client_apply(from, plane, prefix, paths) {
+                    if self.client.absorb(&mut self.ch, rx) {
                         other_changed.insert(prefix);
                     }
                 }
                 InputKind::Arr => {
-                    if self.arr_apply(from, prefix, paths) {
+                    if self.arr.absorb(&mut self.ch, rx) {
                         arr_changed.insert(prefix);
                     }
                 }
                 InputKind::Trr => {
-                    if self.trr_apply(from, prefix, paths) {
+                    if self.trr.absorb(&mut self.ch, rx) {
                         other_changed.insert(prefix);
                     }
                 }
                 InputKind::Unexpected => {
                     // Misconfiguration: drop, but never loop.
-                    self.counters.loop_prevented += 1;
+                    self.ch.counters.loop_prevented += 1;
                 }
             }
         }
         for prefix in &arr_changed {
-            self.arr_recompute(ctx, *prefix);
+            self.arr.recompute(&mut self.ch, ctx, *prefix);
         }
         for prefix in arr_changed.into_iter().chain(other_changed) {
             self.recompute(ctx, prefix);
@@ -1341,8 +502,8 @@ impl Protocol for BgpNode {
     type External = ExternalEvent;
 
     fn on_message(&mut self, ctx: &mut Ctx<BgpMsg>, from: RouterId, msg: BgpMsg) {
-        self.counters.received += 1;
-        let delay = self.spec.proc_delay(self.id);
+        self.ch.counters.received += 1;
+        let delay = self.ch.spec.proc_delay(self.ch.id);
         if delay == 0 {
             self.process_batch(ctx, vec![(from, msg)]);
         } else {
@@ -1361,61 +522,32 @@ impl Protocol for BgpNode {
                 peer_addr,
                 attrs,
             } => {
-                self.counters.ebgp_events += 1;
-                // Next-hop-self + scrub iBGP-internal attributes that
-                // must not leak in from outside.
-                let mut a = (*attrs).clone();
-                a.next_hop = NextHop(self.id.0);
-                a.originator_id = None;
-                a.cluster_list.clear();
-                a.ext_communities.retain(|c| !c.is_abrr_reflected());
-                self.own_ever.insert(prefix);
-                self.ebgp_sessions.insert(peer_addr);
-                self.ebgp_in.entry(prefix).or_default().insert(
-                    peer_addr,
-                    EbgpRoute {
-                        peer_as,
-                        attrs: intern(a),
-                    },
-                );
+                self.border
+                    .ebgp_announce(&mut self.ch, prefix, peer_as, peer_addr, attrs);
                 self.recompute(ctx, prefix);
             }
             ExternalEvent::EbgpWithdraw { prefix, peer_addr } => {
-                self.counters.ebgp_events += 1;
-                let mut removed = false;
-                if let Some(m) = self.ebgp_in.get_mut(&prefix) {
-                    removed = m.remove(&peer_addr).is_some();
-                    if m.is_empty() {
-                        self.ebgp_in.remove(&prefix);
-                    }
-                }
-                if removed {
+                if self.border.ebgp_withdraw(&mut self.ch, prefix, peer_addr) {
                     self.recompute(ctx, prefix);
                 }
             }
             ExternalEvent::Local { prefix, announce } => {
-                let changed = if announce {
-                    self.own_ever.insert(prefix);
-                    self.local_prefixes.insert(prefix)
-                } else {
-                    self.local_prefixes.remove(&prefix)
-                };
-                if changed {
+                if self.border.set_local(prefix, announce) {
                     self.recompute(ctx, prefix);
                 }
             }
             ExternalEvent::SessionReset { peer } => {
                 self.purge_peer(ctx, peer);
-                self.resync_peer(ctx, peer);
+                self.ch.resync_peer(ctx, peer);
             }
             ExternalEvent::ReassignAp { ap, arrs } => {
                 self.reassign_ap(ctx, ap, arrs);
             }
             ExternalEvent::CutoverAp(ap) => {
-                if self.accept_abrr.insert(ap) {
+                if self.ch.accept_abrr.insert(ap) {
                     // Re-evaluate every prefix the cutover AP covers.
                     for p in self.known_prefixes() {
-                        if self.ap_covers(ap, &p) {
+                        if self.ch.ap_covers(ap, &p) {
                             self.recompute(ctx, p);
                         }
                     }
@@ -1430,7 +562,7 @@ impl Protocol for BgpNode {
 
     fn on_session_up(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
         // BGP re-advertises the full table on session establishment.
-        self.resync_peer(ctx, peer);
+        self.ch.resync_peer(ctx, peer);
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<BgpMsg>) {
@@ -1438,22 +570,16 @@ impl Protocol for BgpNode {
         // groups, locally-originated prefixes, AP reassignments)
         // survives; everything learned at runtime is gone. Counters are
         // cumulative device statistics and deliberately survive too.
-        self.ebgp_in.clear();
-        self.ebgp_sessions.clear();
-        self.own_ever = self.local_prefixes.clone();
-        self.client_in = AdjRibIn::new();
-        self.client_in_tbrr = AdjRibIn::new();
-        self.arr_in = AdjRibIn::new();
-        self.trr_in = AdjRibIn::new();
-        self.out.clear_routes();
-        self.loc_rib = LocRib::new();
-        self.mrai.clear();
+        self.border.on_restart();
+        self.client.on_restart();
+        self.arr.on_restart();
+        self.trr.on_restart();
+        self.ch.on_restart();
         self.inbox.clear();
-        self.selection_changes.clear();
         // Re-originate configured prefixes; sends before the sessions
         // come back are dropped by the simulator, but the Adj-RIB-Out
         // fills so re-established sessions resync from it.
-        for p in self.local_prefixes.clone() {
+        for p in self.border.local_prefixes() {
             self.recompute(ctx, p);
         }
     }
@@ -1465,12 +591,12 @@ impl Protocol for BgpNode {
             return;
         }
         let peer = RouterId(token as u32);
-        let Some(mrai) = self.mrai.get_mut(&peer) else {
+        let Some(mrai) = self.ch.mrai.get_mut(&peer) else {
             return;
         };
         let batch = mrai.flush(ctx.now());
         for (_prefix, msg) in batch {
-            self.do_send(ctx, peer, msg);
+            self.ch.do_send(ctx, peer, msg);
         }
     }
 }

@@ -1,0 +1,255 @@
+//! ARR role (paper §2.1, Table 1 right column): address-partition
+//! route reflection. Holds the managed-route Adj-RIB-In for the APs
+//! this router serves and advertises the *best AS-level routes* to all
+//! clients, with the §2.3.2 reflected-bit / cluster-list loop
+//! prevention.
+
+use super::{AdvertiseEnv, Chassis, Role, Rx};
+use crate::msg::{BgpMsg, Plane};
+use crate::node::group;
+use crate::spec::{AbrrLoopPrevention, Mode, NetworkSpec};
+use bgp_rib::{best_as_level, AdjRibIn, Candidate, PathSet};
+use bgp_types::{intern, ApId, ClusterId, Ipv4Prefix, OriginatorId, PathId, RouteSource, RouterId};
+use netsim::Ctx;
+
+/// The ARR function of a router: the managed-route table for its
+/// address partitions.
+pub struct ArrRole {
+    /// ARR-role Adj-RIB-In (managed routes).
+    arr_in: AdjRibIn,
+    /// APs this node reflects. Mutable at runtime (§2.2 reassignment).
+    arr_aps: Vec<ApId>,
+}
+
+impl ArrRole {
+    pub(crate) fn new(id: RouterId, spec: &NetworkSpec) -> ArrRole {
+        ArrRole {
+            arr_in: AdjRibIn::new(),
+            arr_aps: spec.arr_aps_of(id),
+        }
+    }
+
+    /// Materializes the ARR→clients peer group per served AP
+    /// ("to all clients (excluding other ARRs for the same AP)" —
+    /// Appendix A.1).
+    pub(crate) fn install_groups(&self, ch: &mut Chassis) {
+        if ch.spec.mode == Mode::FullMesh || !ch.spec.mode.has_abrr() {
+            return;
+        }
+        for ap in &self.arr_aps {
+            let co_arrs = ch.spec.arrs_of(*ap).to_vec();
+            let members: Vec<RouterId> = ch
+                .spec
+                .client_role_nodes()
+                .into_iter()
+                .filter(|n| *n != ch.id && !co_arrs.contains(n))
+                .collect();
+            ch.out
+                .define_group(group::ARR_TO_CLIENTS + ap.0 as u32, members);
+        }
+    }
+
+    /// The APs this router currently serves (shell classification).
+    pub(crate) fn aps(&self) -> &[ApId] {
+        &self.arr_aps
+    }
+
+    /// The managed paths currently stored from `peer` for `prefix`.
+    pub(crate) fn paths_from(
+        &self,
+        peer: RouterId,
+        prefix: &Ipv4Prefix,
+    ) -> &[(PathId, std::sync::Arc<bgp_types::PathAttributes>)] {
+        self.arr_in.paths(peer, prefix)
+    }
+
+    /// Internal logical pass from this router's own client function
+    /// (§2.1: no iBGP message between a router's own roles).
+    pub(crate) fn input_internal(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        paths: PathSet,
+    ) {
+        if self.arr_in.set_paths(ch.id, prefix, paths) {
+            self.recompute(ch, ctx, prefix);
+            // No client recompute here: the caller is our own client
+            // function, which already selected.
+        }
+    }
+
+    /// Recomputes the best AS-level route set for `prefix` and
+    /// advertises it to all clients (Table 1: "ARR → Client: best
+    /// AS-level routes, not returned to sender").
+    pub(crate) fn recompute(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+    ) {
+        let cands: Vec<Candidate> = self
+            .arr_in
+            .all_paths(&prefix)
+            .map(|(peer, _pid, attrs)| Candidate {
+                attrs: attrs.clone(),
+                source: RouteSource::Ibgp { peer },
+                neighbor_id: peer.0,
+            })
+            .collect();
+        let surv = best_as_level(&cands, &ch.spec.decision);
+        let set: PathSet = surv
+            .into_iter()
+            .map(|i| {
+                let c = &cands[i];
+                let mut a = (*c.attrs).clone();
+                // Stamp provenance so clients can tie-break by true
+                // originator and so the sender-exclusion works.
+                if a.originator_id.is_none() {
+                    a.originator_id = Some(OriginatorId(c.neighbor_id));
+                }
+                match ch.spec.abrr_loop_prevention {
+                    AbrrLoopPrevention::ReflectedBit => {
+                        a = a.with_abrr_reflected();
+                    }
+                    AbrrLoopPrevention::ClusterList => {
+                        // RFC 4456 default: cluster id = router id.
+                        a.cluster_list.insert(0, ClusterId(ch.id.0));
+                    }
+                    AbrrLoopPrevention::None => {}
+                }
+                (PathId(a.originator_id.expect("set").0), intern(a))
+            })
+            .collect();
+        for ap in self.arr_aps.clone() {
+            if !ch.ap_covers(ap, &prefix) {
+                continue;
+            }
+            let g = group::ARR_TO_CLIENTS + ap.0 as u32;
+            // advertise_group() handles change detection and per-member
+            // originator filtering.
+            ch.advertise_group(ctx, g, prefix, Plane::Abrr, set.clone(), |_| false);
+        }
+    }
+
+    /// Runtime AP reassignment, losing side (§2.2): withdraw everything
+    /// reflected for `ap`, drop the role, and evict managed routes no
+    /// remaining role covers (a prefix can span APs).
+    pub(crate) fn lose_ap(&mut self, ch: &mut Chassis, ctx: &mut Ctx<BgpMsg>, ap: ApId) {
+        let g = group::ARR_TO_CLIENTS + ap.0 as u32;
+        let prefixes: Vec<Ipv4Prefix> = ch.out.iter_group(g).map(|(p, _)| *p).collect();
+        for p in prefixes {
+            ch.advertise_group(ctx, g, p, Plane::Abrr, Vec::new(), |_| false);
+        }
+        ch.out.reset_group(g, Vec::new());
+        self.arr_aps.retain(|a| *a != ap);
+        let peers: Vec<RouterId> = self.arr_in.peers().collect();
+        for p in self.arr_in.known_prefixes() {
+            let still_served = self.arr_aps.iter().any(|a2| ch.ap_covers(*a2, &p));
+            if ch.ap_covers(ap, &p) && !still_served {
+                for peer in &peers {
+                    self.arr_in.withdraw(*peer, p);
+                }
+            }
+        }
+    }
+
+    /// Runtime AP reassignment, gaining side (§2.2): take the role and
+    /// open an (empty) client group that fills as clients re-advertise.
+    pub(crate) fn gain_ap(&mut self, ch: &mut Chassis, ap: ApId, new_arrs: &[RouterId]) {
+        self.arr_aps.push(ap);
+        self.arr_aps.sort();
+        let members: Vec<RouterId> = ch
+            .spec
+            .client_role_nodes()
+            .into_iter()
+            .filter(|n| *n != ch.id && !new_arrs.contains(n))
+            .collect();
+        ch.out
+            .reset_group(group::ARR_TO_CLIENTS + ap.0 as u32, members);
+    }
+}
+
+impl Role for ArrRole {
+    /// ARR-role input arriving over a session, with §2.3.2 loop
+    /// prevention: an update already reflected by an ARR must never be
+    /// reflected again. The paper's single marker bit stops it at the
+    /// first re-reflection; CLUSTER_LIST lets it circulate once before
+    /// the stamping ARR recognizes its own id.
+    fn absorb(&mut self, ch: &mut Chassis, rx: Rx) -> bool {
+        let Rx {
+            from,
+            prefix,
+            paths,
+            ..
+        } = rx;
+        let looped = match ch.spec.abrr_loop_prevention {
+            AbrrLoopPrevention::ReflectedBit => paths.iter().any(|(_, a)| a.is_abrr_reflected()),
+            AbrrLoopPrevention::ClusterList => paths
+                .iter()
+                .any(|(_, a)| a.cluster_list.contains(&ClusterId(ch.id.0))),
+            AbrrLoopPrevention::None => false,
+        };
+        if looped {
+            ch.counters.loop_prevented += 1;
+            return false;
+        }
+        self.arr_in.set_paths(from, prefix, paths)
+    }
+
+    fn reselect(&self, ch: &Chassis, prefix: &Ipv4Prefix, cands: &mut Vec<Candidate>) {
+        // An ARR's client function sees its managed routes internally
+        // (the "logical pass" of §2.1) rather than via a session. Its
+        // OWN advertisements are excluded: a router never receives its
+        // own route back in full-mesh ("not returned to sender"), and
+        // considering the echo here can wedge the node on a stale copy
+        // of a route it has since withdrawn (its real eBGP/local routes
+        // already entered the candidate set via the border role).
+        if ch.spec.mode.has_abrr()
+            && (ch.spec.mode == Mode::Abrr || ch.use_abrr_for(prefix))
+            && self.arr_aps.iter().any(|ap| ch.ap_covers(*ap, prefix))
+        {
+            for (peer, _pid, attrs) in self.arr_in.all_paths(prefix) {
+                if peer == ch.id {
+                    continue;
+                }
+                cands.push(Candidate {
+                    attrs: attrs.clone(),
+                    source: RouteSource::Ibgp { peer },
+                    neighbor_id: peer.0,
+                });
+            }
+        }
+    }
+
+    /// The ARR's advertisement depends only on its managed table, not
+    /// on the router's decision, so `env` is unused: this delegates to
+    /// `ArrRole::recompute`, which the shell drives whenever managed
+    /// state changes (batch absorption, peer purge, AP reassignment,
+    /// the internal logical pass) rather than on every decision.
+    fn advertise(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        _env: &mut AdvertiseEnv<'_>,
+    ) {
+        self.recompute(ch, ctx, prefix);
+    }
+
+    fn rib_in_entries(&self) -> usize {
+        self.arr_in.num_entries()
+    }
+
+    fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
+        self.arr_in.known_prefixes()
+    }
+
+    fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
+        self.arr_in.drop_peer(peer)
+    }
+
+    fn on_restart(&mut self) {
+        self.arr_in = AdjRibIn::new();
+    }
+}

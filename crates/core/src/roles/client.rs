@@ -1,0 +1,336 @@
+//! Client role: the data-plane function every router runs (paper
+//! §2.1). Holds the mesh/ABRR-plane and TBRR-plane Adj-RIB-Ins with the
+//! §3.4 reduced-storage policy, and advertises the router's best route
+//! up to its reflectors (or the full mesh).
+
+use super::{with_default_local_pref, AdvertiseEnv, Chassis, Role, Rx};
+use crate::msg::{BgpMsg, Plane};
+use crate::node::group;
+use crate::spec::{Mode, NetworkSpec};
+use bgp_rib::{best_path, AdjRibIn, Candidate, PathSet};
+use bgp_types::{Ipv4Prefix, PathAttributes, PathId, RouteSource, RouterId};
+use netsim::Ctx;
+use std::sync::Arc;
+
+/// The client function of a router: one Adj-RIB-In per reflection
+/// plane, reduced to best-per-peer for multi-path senders (§3.4), plus
+/// the client-side TBRR session configuration.
+pub struct ClientRole {
+    /// Client-role iBGP Adj-RIB-In for the mesh/ABRR planes.
+    client_in: AdjRibIn,
+    /// Client-role Adj-RIB-In for the TBRR plane. Kept separate so the
+    /// §2.4 transition can accept one plane per AP even when the same
+    /// physical router is both an ARR and a TRR.
+    client_in_tbrr: AdjRibIn,
+    /// TBRR: this node's TRRs (client side), empty if none.
+    my_trrs: Vec<RouterId>,
+    /// Whether this router also runs the TRR function. Fixed at
+    /// construction (cluster assignment is static); gates the
+    /// client→TRR advertisement (a TRR's own routes flow via TRR
+    /// rules, Table 1).
+    is_trr_node: bool,
+}
+
+impl ClientRole {
+    pub(crate) fn new(id: RouterId, spec: &NetworkSpec) -> ClientRole {
+        ClientRole {
+            client_in: AdjRibIn::new(),
+            client_in_tbrr: AdjRibIn::new(),
+            my_trrs: spec.trrs_of_client(id),
+            is_trr_node: !spec.trr_clusters_of(id).is_empty(),
+        }
+    }
+
+    /// Materializes the client side's peer groups: the full mesh, the
+    /// client→ARR group per address partition, and the client→TRR group.
+    pub(crate) fn install_groups(&self, ch: &mut Chassis) {
+        match ch.spec.mode {
+            Mode::FullMesh => {
+                let members: Vec<RouterId> = ch
+                    .spec
+                    .all_nodes()
+                    .into_iter()
+                    .filter(|n| *n != ch.id)
+                    .collect();
+                ch.out.define_group(group::MESH, members);
+            }
+            _ => {
+                if ch.spec.mode.has_abrr() {
+                    if let Some(map) = &ch.spec.ap_map {
+                        for part in map.partitions() {
+                            let ap = part.id;
+                            ch.out.define_group(
+                                group::CLIENT_TO_ARRS + ap.0 as u32,
+                                ch.spec.arrs_of(ap).to_vec(),
+                            );
+                        }
+                    }
+                }
+                if ch.spec.mode.has_tbrr() && !self.my_trrs.is_empty() {
+                    ch.out
+                        .define_group(group::CLIENT_TO_TRRS, self.my_trrs.clone());
+                }
+            }
+        }
+    }
+
+    /// The TRRs this router is a client of (shell classification).
+    pub(crate) fn my_trrs(&self) -> &[RouterId] {
+        &self.my_trrs
+    }
+
+    /// The stored paths from `peer` for `prefix` (post-reduction),
+    /// whichever plane holds them.
+    pub(crate) fn paths_from(
+        &self,
+        peer: RouterId,
+        prefix: &Ipv4Prefix,
+    ) -> &[(PathId, Arc<PathAttributes>)] {
+        let mesh_abrr = self.client_in.paths(peer, prefix);
+        if mesh_abrr.is_empty() {
+            self.client_in_tbrr.paths(peer, prefix)
+        } else {
+            mesh_abrr
+        }
+    }
+
+    /// Candidates for a pre-installed backup exit: every stored route
+    /// whose exit differs from `primary` (§3.2/§3.4 extension).
+    pub(crate) fn backup_candidates(
+        &self,
+        prefix: &Ipv4Prefix,
+        primary: RouterId,
+    ) -> Vec<Candidate> {
+        let mut cands: Vec<Candidate> = Vec::new();
+        for rib in [&self.client_in, &self.client_in_tbrr] {
+            for (peer, _pid, attrs) in rib.all_paths(prefix) {
+                if RouterId(attrs.next_hop.0) != primary {
+                    cands.push(Candidate {
+                        attrs: attrs.clone(),
+                        source: RouteSource::Ibgp { peer },
+                        neighbor_id: peer.0,
+                    });
+                }
+            }
+        }
+        cands
+    }
+
+    /// Drops reflected routes learned from `arr` for prefixes covered by
+    /// `ap` (runtime AP reassignment: a losing ARR's withdrawals would
+    /// no longer classify, so the client drops proactively). Returns the
+    /// affected prefixes.
+    pub(crate) fn drop_from_arr(
+        &mut self,
+        ch: &Chassis,
+        ap: bgp_types::ApId,
+        arr: RouterId,
+    ) -> Vec<Ipv4Prefix> {
+        let mut affected = Vec::new();
+        for p in self.client_in.known_prefixes() {
+            if ch.ap_covers(ap, &p)
+                && !self.client_in.paths(arr, &p).is_empty()
+                && self.client_in.withdraw(arr, p)
+            {
+                affected.push(p);
+            }
+        }
+        affected
+    }
+}
+
+impl Role for ClientRole {
+    /// Client-role receive: reduce multi-path sets to our single best
+    /// (paper §3.4) and store per sender.
+    fn absorb(&mut self, ch: &mut Chassis, rx: Rx) -> bool {
+        let Rx {
+            from,
+            plane,
+            prefix,
+            paths,
+            own_ever,
+        } = rx;
+        let before = paths.len();
+        let mut paths: PathSet = paths
+            .into_iter()
+            .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(ch.id.0))
+            .collect();
+        ch.counters.loop_prevented += (before - paths.len()) as u64;
+        if paths.len() > 1 && !own_ever {
+            let cands: Vec<Candidate> = paths
+                .iter()
+                .map(|(_, a)| Candidate {
+                    attrs: a.clone(),
+                    source: RouteSource::Ibgp { peer: from },
+                    neighbor_id: from.0,
+                })
+                .collect();
+            let igp = ch.igp_metric_fn();
+            let best = best_path(&cands, &ch.spec.decision, &igp);
+            // §3.2/§3.4 extension: optionally retain the runner-up as a
+            // pre-installed fast-reroute backup.
+            let backup = if ch.spec.clients_keep_backups {
+                best.and_then(|b| {
+                    let rest: Vec<Candidate> = cands
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != b)
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    best_path(&rest, &ch.spec.decision, &igp).map(|j| {
+                        // Map back to the original index.
+                        let mut k = 0;
+                        let mut orig = 0;
+                        for i in 0..cands.len() {
+                            if i == b {
+                                continue;
+                            }
+                            if k == j {
+                                orig = i;
+                                break;
+                            }
+                            k += 1;
+                        }
+                        orig
+                    })
+                })
+            } else {
+                None
+            };
+            drop(igp);
+            paths = match (best, backup) {
+                (Some(i), Some(j)) => vec![paths[i].clone(), paths[j].clone()],
+                (Some(i), None) => vec![paths[i].clone()],
+                (None, _) => Vec::new(),
+            };
+        }
+        let rib = match plane {
+            Plane::Tbrr => &mut self.client_in_tbrr,
+            Plane::Mesh | Plane::Abrr => &mut self.client_in,
+        };
+        rib.set_paths(from, prefix, paths)
+    }
+
+    fn reselect(&self, ch: &Chassis, prefix: &Ipv4Prefix, cands: &mut Vec<Candidate>) {
+        let use_abrr = ch.use_abrr_for(prefix);
+        // Mesh/ABRR-plane routes: accepted except for a transition
+        // router whose AP has not been cut over yet.
+        let accept_mesh_abrr = match ch.spec.mode {
+            Mode::FullMesh | Mode::Abrr => true,
+            Mode::Tbrr { .. } => false,
+            Mode::Transition => use_abrr,
+        };
+        if accept_mesh_abrr {
+            for (peer, _pid, attrs) in self.client_in.all_paths(prefix) {
+                cands.push(Candidate {
+                    attrs: attrs.clone(),
+                    source: RouteSource::Ibgp { peer },
+                    neighbor_id: peer.0,
+                });
+            }
+        }
+        // TBRR-plane routes: accepted in TBRR mode, or pre-cutover in
+        // transition.
+        let accept_tbrr = match ch.spec.mode {
+            Mode::Tbrr { .. } => true,
+            Mode::Transition => !use_abrr,
+            _ => false,
+        };
+        if accept_tbrr {
+            for (peer, _pid, attrs) in self.client_in_tbrr.all_paths(prefix) {
+                cands.push(Candidate {
+                    attrs: attrs.clone(),
+                    source: RouteSource::Ibgp { peer },
+                    neighbor_id: peer.0,
+                });
+            }
+        }
+    }
+
+    /// The client function's advertisement step (Table 1 rows
+    /// "Client → ARR" / "Client → TRR" / full-mesh row): advertise the
+    /// best route iff it is other-learned; withdraw otherwise. The
+    /// hand-off to this router's *own* ARR function travels through
+    /// `AdvertiseEnv::arr` (§2.1's logical pass), not a session.
+    fn advertise(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        env: &mut AdvertiseEnv<'_>,
+    ) {
+        let adv: PathSet = match env.sel {
+            Some(s) if s.source.is_other_learned() => {
+                vec![(PathId(ch.id.0), with_default_local_pref(&s.attrs))]
+            }
+            _ => Vec::new(),
+        };
+        let adv_shared: Arc<PathSet> = Arc::new(adv.clone());
+        match ch.spec.mode {
+            Mode::FullMesh => {
+                ch.advertise_group(ctx, group::MESH, prefix, Plane::Mesh, adv, |_| false);
+            }
+            _ => {
+                if ch.spec.mode.has_abrr() {
+                    for ap in ch.aps_for_prefix(&prefix) {
+                        let g = group::CLIENT_TO_ARRS + ap.0 as u32;
+                        let changed = ch.out.set_paths(g, prefix, adv.clone());
+                        if !changed {
+                            continue;
+                        }
+                        ch.counters.generated += 1;
+                        for arr in ch.out.members(g).to_vec() {
+                            if arr == ch.id {
+                                // Logical pass to our own ARR function.
+                                if let Some(own_arr) = env.arr.as_deref_mut() {
+                                    own_arr.input_internal(ch, ctx, prefix, (*adv_shared).clone());
+                                }
+                            } else {
+                                ch.transmit(
+                                    ctx,
+                                    arr,
+                                    BgpMsg {
+                                        prefix,
+                                        paths: adv_shared.clone(),
+                                        plane: Plane::Abrr,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                if ch.spec.mode.has_tbrr() && !self.is_trr_node && !self.my_trrs.is_empty() {
+                    ch.advertise_group(
+                        ctx,
+                        group::CLIENT_TO_TRRS,
+                        prefix,
+                        Plane::Tbrr,
+                        adv,
+                        |_| false,
+                    );
+                }
+            }
+        }
+    }
+
+    fn rib_in_entries(&self) -> usize {
+        self.client_in.num_entries() + self.client_in_tbrr.num_entries()
+    }
+
+    fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut v = self.client_in.known_prefixes();
+        v.extend(self.client_in_tbrr.known_prefixes());
+        v
+    }
+
+    fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
+        let mut affected = self.client_in.drop_peer(peer);
+        affected.extend(self.client_in_tbrr.drop_peer(peer));
+        affected
+    }
+
+    fn on_restart(&mut self) {
+        self.client_in = AdjRibIn::new();
+        self.client_in_tbrr = AdjRibIn::new();
+    }
+}

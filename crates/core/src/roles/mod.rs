@@ -1,0 +1,411 @@
+//! Per-role protocol engines.
+//!
+//! The paper's roles are *functions within a router* (§2.1): a
+//! data-plane router is a client for every AP; any router may
+//! additionally be an ARR for some APs or a TRR for some clusters. This
+//! module gives each function its own engine behind the shared [`Role`]
+//! trait; [`crate::node::BgpNode`] is the thin shell that owns the
+//! [`crate::spec::NetworkSpec`], classifies inputs by plane + peer
+//! group, and routes them to its role set.
+//!
+//! Plane → role dispatch (see `BgpNode::classify`):
+//!
+//! | plane  | sender                      | receiving role |
+//! |--------|-----------------------------|----------------|
+//! | Mesh   | any (full-mesh mode)        | [`ClientRole`] |
+//! | Abrr   | an ARR of a covering AP     | [`ClientRole`] |
+//! | Abrr   | a client of an AP we serve  | [`ArrRole`]    |
+//! | Tbrr   | anyone, when we reflect     | [`TrrRole`]    |
+//! | Tbrr   | one of our TRRs             | [`ClientRole`] |
+//!
+//! [`BorderRole`] has no iBGP plane: it ingests eBGP/operator events
+//! and contributes the exit candidates every other role's decisions
+//! start from.
+//!
+//! Cross-role interaction is explicit: a role never touches a sibling's
+//! state directly. The one internal hand-off the paper calls out — a
+//! router's client function passing its best route to its *own* ARR
+//! function without an iBGP message ("a logical pass", §2.1) — travels
+//! through `AdvertiseEnv::arr`.
+
+mod arr;
+mod border;
+mod client;
+mod trr;
+
+pub use arr::ArrRole;
+pub use border::BorderRole;
+pub use client::ClientRole;
+pub use trr::TrrRole;
+
+use crate::counters::UpdateCounters;
+use crate::msg::{BgpMsg, Plane};
+use crate::node::Selected;
+use crate::spec::{Mode, NetworkSpec};
+use bgp_rib::{best_path, AdjRibOut, Candidate, PathSet};
+use bgp_types::{ApId, FxHashMap, Ipv4Prefix, NextHop, PathAttributes, RouterId};
+use netsim::{Ctx, Mrai, MraiVerdict};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The infrastructure shared by every role of one router: identity and
+/// spec, the per-peer-group Adj-RIB-Out, the Loc-RIB, update
+/// accounting, MRAI pacing, and the configuration that survives a
+/// crash-restart (transition accept-set, runtime AP reassignments).
+///
+/// Roles receive `&mut Chassis` in every trait call; it is the only
+/// mutable state they share.
+pub struct Chassis {
+    pub(crate) id: RouterId,
+    pub(crate) spec: Arc<NetworkSpec>,
+    /// Adj-RIB-Out, one copy per peer group (paper Appendix A
+    /// accounting). Shared: each role writes its own group ids.
+    pub(crate) out: AdjRibOut,
+    /// Selected routes.
+    pub(crate) loc_rib: bgp_rib::LocRib<Selected>,
+    /// Per-prefix best-route change counts (oscillation diagnostics).
+    pub(crate) selection_changes: FxHashMap<Ipv4Prefix, u64>,
+    /// Update accounting.
+    pub(crate) counters: UpdateCounters,
+    /// Per-peer MRAI pacing, keyed by (plane, prefix).
+    pub(crate) mrai: BTreeMap<RouterId, Mrai<(Plane, Ipv4Prefix), BgpMsg>>,
+    /// Transition (§2.4): APs for which ABRR routes are accepted.
+    pub(crate) accept_abrr: BTreeSet<ApId>,
+    /// Runtime AP→ARR reassignments (paper §2.2). Overrides the spec's
+    /// static assignment; treated as configuration, so it survives a
+    /// crash-restart.
+    pub(crate) arr_override: BTreeMap<ApId, Vec<RouterId>>,
+}
+
+impl Chassis {
+    pub(crate) fn new(id: RouterId, spec: Arc<NetworkSpec>) -> Chassis {
+        let accept_abrr = match spec.mode {
+            Mode::Abrr => spec
+                .ap_map
+                .as_ref()
+                .map(|m| m.partitions().iter().map(|p| p.id).collect())
+                .unwrap_or_default(),
+            _ => BTreeSet::new(),
+        };
+        Chassis {
+            id,
+            spec,
+            out: AdjRibOut::new(),
+            loc_rib: bgp_rib::LocRib::new(),
+            selection_changes: FxHashMap::default(),
+            counters: UpdateCounters::default(),
+            mrai: BTreeMap::new(),
+            accept_abrr,
+            arr_override: BTreeMap::new(),
+        }
+    }
+
+    /// The ARRs currently responsible for `ap`: a runtime reassignment
+    /// overrides the spec's static assignment.
+    pub(crate) fn arrs_of(&self, ap: ApId) -> &[RouterId] {
+        self.arr_override
+            .get(&ap)
+            .map(|v| v.as_slice())
+            .unwrap_or_else(|| self.spec.arrs_of(ap))
+    }
+
+    /// Whether `r` is (currently) an ARR for an AP covering `prefix`.
+    pub(crate) fn is_arr_for_prefix(&self, r: RouterId, prefix: &Ipv4Prefix) -> bool {
+        if self.arr_override.is_empty() {
+            return self.spec.is_arr_for_prefix(r, prefix);
+        }
+        self.aps_for_prefix(prefix)
+            .iter()
+            .any(|ap| self.arrs_of(*ap).contains(&r))
+    }
+
+    pub(crate) fn ap_covers(&self, ap: ApId, prefix: &Ipv4Prefix) -> bool {
+        self.spec
+            .ap_map
+            .as_ref()
+            .and_then(|m| m.partition(ap))
+            .map(|p| p.covers(prefix))
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn aps_for_prefix(&self, prefix: &Ipv4Prefix) -> Vec<ApId> {
+        self.spec
+            .ap_map
+            .as_ref()
+            .map(|m| m.aps_for_prefix(prefix))
+            .unwrap_or_default()
+    }
+
+    /// Transition rule (§2.4): ABRR routes for `prefix` are accepted
+    /// when every AP covering it has been cut over (a spanning prefix
+    /// flips only when all its APs have).
+    pub(crate) fn use_abrr_for(&self, prefix: &Ipv4Prefix) -> bool {
+        match self.spec.mode {
+            Mode::Abrr => true,
+            Mode::Transition => {
+                let aps = self.aps_for_prefix(prefix);
+                !aps.is_empty() && aps.iter().all(|ap| self.accept_abrr.contains(ap))
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn igp_metric_fn(&self) -> impl Fn(NextHop) -> Option<u32> + '_ {
+        let me = self.id;
+        let oracle = &self.spec.oracle;
+        move |nh: NextHop| oracle.distance(me, RouterId(nh.0))
+    }
+
+    /// Picks the best candidate and updates the Loc-RIB. Returns the
+    /// winner (cloned) if any.
+    pub(crate) fn select(&mut self, prefix: Ipv4Prefix, cands: &[Candidate]) -> Option<Selected> {
+        let igp = self.igp_metric_fn();
+        let best = best_path(cands, &self.spec.decision, &igp);
+        drop(igp);
+        let selected = best.map(|i| Selected {
+            attrs: cands[i].attrs.clone(),
+            source: cands[i].source,
+            neighbor_id: cands[i].neighbor_id,
+        });
+        if self.loc_rib.set(prefix, selected.clone()) {
+            *self.selection_changes.entry(prefix).or_default() += 1;
+        }
+        selected
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission with MRAI
+    // ------------------------------------------------------------------
+
+    pub(crate) fn transmit(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId, msg: BgpMsg) {
+        if peer == self.id {
+            return;
+        }
+        let interval = self.spec.mrai_us;
+        let mrai = self.mrai.entry(peer).or_insert_with(|| Mrai::new(interval));
+        match mrai.offer(ctx.now(), (msg.plane, msg.prefix), msg) {
+            MraiVerdict::SendNow(msg) => self.do_send(ctx, peer, msg),
+            MraiVerdict::Deferred {
+                flush_at,
+                need_timer,
+            } => {
+                if need_timer {
+                    ctx.set_timer(flush_at, peer.0 as u64);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn do_send(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId, msg: BgpMsg) {
+        self.counters.transmitted += 1;
+        if self.spec.account_bytes {
+            self.counters.bytes_transmitted += msg.wire_bytes(true) as u64;
+        }
+        ctx.send(peer, msg);
+    }
+
+    /// Writes `paths` into RIB-Out `g` for `prefix`; on change, counts a
+    /// generation and transmits each member its *effective* set: the
+    /// group set minus routes that originated at the member, and empty
+    /// for a member matched by `suppress` (the Table 1 "not returned to
+    /// sender" exception). A member whose effective set is empty still
+    /// receives the (possibly redundant) withdrawal — it may hold a
+    /// previously advertised route that this change retracts; receivers
+    /// deduplicate via replace-set change detection.
+    pub(crate) fn advertise_group(
+        &mut self,
+        ctx: &mut Ctx<BgpMsg>,
+        g: u32,
+        prefix: Ipv4Prefix,
+        plane: Plane,
+        paths: PathSet,
+        suppress: impl Fn(RouterId) -> bool,
+    ) {
+        if !self.out.set_paths(g, prefix, paths.clone()) {
+            return;
+        }
+        self.counters.generated += 1;
+        let full: Arc<PathSet> = Arc::new(paths);
+        let empty: Arc<PathSet> = Arc::new(Vec::new());
+        // Only members that originated one of the paths need a filtered
+        // copy; everyone else shares the one full set.
+        let originators: Vec<u32> = full
+            .iter()
+            .filter_map(|(_, a)| a.originator_id.map(|o| o.0))
+            .collect();
+        let members = self.out.members(g).to_vec();
+        for m in members {
+            if m == self.id {
+                // Internal logical pass: the ARR function of this very
+                // router (only arises for client→own-ARR advertisement,
+                // handled by the caller).
+                continue;
+            }
+            let effective: Arc<PathSet> = if suppress(m) {
+                empty.clone()
+            } else if originators.contains(&m.0) {
+                Arc::new(
+                    full.iter()
+                        .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(m.0))
+                        .cloned()
+                        .collect(),
+                )
+            } else {
+                full.clone()
+            };
+            self.transmit(
+                ctx,
+                m,
+                BgpMsg {
+                    prefix,
+                    paths: effective,
+                    plane,
+                },
+            );
+        }
+    }
+
+    /// Re-sends our current Adj-RIB-Out toward a peer whose session
+    /// just re-established (BGP full-table re-advertisement).
+    pub(crate) fn resync_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
+        let plane_of_group = |g: u32| -> Plane {
+            if g == crate::node::group::MESH {
+                Plane::Mesh
+            } else if (crate::node::group::CLIENT_TO_ARRS
+                ..crate::node::group::ARR_TO_CLIENTS + 1000)
+                .contains(&g)
+            {
+                Plane::Abrr
+            } else {
+                Plane::Tbrr
+            }
+        };
+        let groups: Vec<u32> = self
+            .out
+            .group_ids()
+            .filter(|g| self.out.members(*g).contains(&peer))
+            .collect();
+        let mut to_send: Vec<BgpMsg> = Vec::new();
+        for g in groups {
+            let plane = plane_of_group(g);
+            for (prefix, set) in self.out.iter_group(g) {
+                let effective: PathSet = set
+                    .iter()
+                    .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(peer.0))
+                    .cloned()
+                    .collect();
+                if !effective.is_empty() {
+                    to_send.push(BgpMsg {
+                        prefix: *prefix,
+                        paths: Arc::new(effective),
+                        plane,
+                    });
+                }
+            }
+        }
+        for msg in to_send {
+            self.transmit(ctx, peer, msg);
+        }
+    }
+
+    /// Crash-restart: runtime protocol state is lost; configuration
+    /// (roles, peer groups, reassignments) and cumulative device
+    /// counters survive.
+    pub(crate) fn on_restart(&mut self) {
+        self.out.clear_routes();
+        self.loc_rib = bgp_rib::LocRib::new();
+        self.mrai.clear();
+        self.selection_changes.clear();
+    }
+}
+
+/// An incoming iBGP replace-set, pre-classified by the shell, plus the
+/// cross-role facts the receiving role's storage policy needs.
+pub struct Rx {
+    /// The advertising peer.
+    pub(crate) from: RouterId,
+    /// The session plane the update arrived on.
+    pub(crate) plane: Plane,
+    /// Destination prefix.
+    pub(crate) prefix: Ipv4Prefix,
+    /// The complete new path set (empty = withdraw).
+    pub(crate) paths: PathSet,
+    /// Whether this router has *ever* originated `prefix` or learned it
+    /// over eBGP (border-role stickiness). The client role stores the
+    /// full received set for such prefixes instead of its reduced best
+    /// — a reduced set could drop exactly the route that MED-eliminates
+    /// one of our own routes (see [`ClientRole`]).
+    pub(crate) own_ever: bool,
+}
+
+/// The per-recompute context a role advertises from. Built once by the
+/// shell after the decision, then handed to each advertising role.
+pub struct AdvertiseEnv<'a> {
+    /// The shell's new selection for the prefix (post-decision).
+    pub(crate) sel: Option<&'a Selected>,
+    /// Whether the selection changed in this recompute.
+    pub(crate) sel_changed: bool,
+    /// Border-role exit candidates (local + eBGP, decision order) — the
+    /// seed of every role's plane view; lets the TRR rebuild its
+    /// TBRR-plane candidate set without touching border state.
+    pub(crate) exit_cands: &'a [Candidate],
+    /// The router's own ARR function, when the advertising role may
+    /// hand routes to it internally (§2.1's "logical pass"). `None`
+    /// when the ARR itself (or a role with no hand-off) advertises.
+    pub(crate) arr: Option<&'a mut ArrRole>,
+}
+
+/// One protocol function of a router (paper Table 1 column), owning its
+/// own Adj-RIB-In state and advertisement rules.
+///
+/// The shell drives every role through this trait: `absorb` applies
+/// classified input, `reselect` contributes decision candidates,
+/// `advertise` emits the role's updates after a decision, and the
+/// remaining methods are RIB accounting and lifecycle.
+pub trait Role {
+    /// Applies a classified incoming replace-set to this role's
+    /// Adj-RIB-In. Returns whether stored state changed (the shell
+    /// recomputes affected prefixes).
+    fn absorb(&mut self, ch: &mut Chassis, rx: Rx) -> bool;
+
+    /// Contributes this role's decision candidates for `prefix` to the
+    /// shell's reselection, applying the role's plane-acceptance rules
+    /// (transition §2.4 filtering, reflector plane gating).
+    fn reselect(&self, ch: &Chassis, prefix: &Ipv4Prefix, cands: &mut Vec<Candidate>);
+
+    /// Emits this role's advertisements for `prefix` after a decision.
+    fn advertise(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        env: &mut AdvertiseEnv<'_>,
+    );
+
+    /// Adj-RIB-In entries held by this role (the paper's RIB-In
+    /// accounting).
+    fn rib_in_entries(&self) -> usize;
+
+    /// Every prefix this role currently holds state for.
+    fn known_prefixes(&self) -> Vec<Ipv4Prefix>;
+
+    /// Drops everything learned from `peer` (RFC 4271 §6 teardown).
+    /// Returns the affected prefixes.
+    fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix>;
+
+    /// Crash-restart with RIB loss: runtime state is gone,
+    /// configuration survives.
+    fn on_restart(&mut self);
+}
+
+/// Prepares an attribute set for iBGP injection: LOCAL_PREF defaulted.
+/// Shared by the client (own-best injection) and TRR (reflection)
+/// roles.
+pub(crate) fn with_default_local_pref(attrs: &Arc<PathAttributes>) -> Arc<PathAttributes> {
+    if attrs.local_pref.is_some() {
+        return attrs.clone();
+    }
+    let mut a = (**attrs).clone();
+    a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
+    bgp_types::intern(a)
+}

@@ -1,0 +1,256 @@
+//! TRR role (paper Table 1 left column; RFC 4456): topology-based
+//! route reflection with cluster-list/originator-id loop prevention, in
+//! single-path and multi-path (Appendix A.3) variants.
+
+use super::{AdvertiseEnv, Chassis, Role, Rx};
+use crate::msg::{BgpMsg, Plane};
+use crate::node::group;
+use crate::spec::{Mode, NetworkSpec};
+use bgp_rib::{best_as_level, best_path, AdjRibIn, Candidate, PathSet};
+use bgp_types::{
+    intern, ClusterId, Ipv4Prefix, OriginatorId, PathAttributes, PathId, RouteSource, RouterId,
+};
+use netsim::Ctx;
+use std::sync::Arc;
+
+/// The TRR function of a router: the TBRR-plane reflection table for
+/// the clusters it serves.
+pub struct TrrRole {
+    /// TRR-role Adj-RIB-In.
+    trr_in: AdjRibIn,
+    /// Cluster ids this node reflects.
+    trr_clusters: Vec<u32>,
+}
+
+impl TrrRole {
+    pub(crate) fn new(id: RouterId, spec: &NetworkSpec) -> TrrRole {
+        TrrRole {
+            trr_in: AdjRibIn::new(),
+            trr_clusters: spec.trr_clusters_of(id),
+        }
+    }
+
+    /// Materializes the TRR→clients and TRR→TRR-peers groups.
+    pub(crate) fn install_groups(&self, ch: &mut Chassis) {
+        if ch.spec.mode == Mode::FullMesh
+            || !ch.spec.mode.has_tbrr()
+            || self.trr_clusters.is_empty()
+        {
+            return;
+        }
+        ch.out
+            .define_group(group::TRR_TO_CLIENTS, ch.spec.clients_of_trr(ch.id));
+        let peers: Vec<RouterId> = ch
+            .spec
+            .all_trrs()
+            .into_iter()
+            .filter(|t| *t != ch.id)
+            .collect();
+        ch.out.define_group(group::TRR_TO_PEERS, peers);
+    }
+
+    /// The clusters this router reflects (shell classification).
+    pub(crate) fn clusters(&self) -> &[u32] {
+        &self.trr_clusters
+    }
+
+    /// Builds the TRR's reflected version of a route: ORIGINATOR_ID set
+    /// to the injecting router, our cluster id(s) prepended.
+    fn reflect_attrs(&self, c: &Candidate) -> Arc<PathAttributes> {
+        let mut a = (*c.attrs).clone();
+        if a.local_pref.is_none() {
+            a.local_pref = Some(bgp_types::LocalPref::DEFAULT);
+        }
+        if a.originator_id.is_none() {
+            a.originator_id = Some(OriginatorId(c.neighbor_id));
+        }
+        for cid in self.trr_clusters.iter().rev() {
+            a.cluster_list.insert(0, ClusterId(*cid));
+        }
+        intern(a)
+    }
+
+    /// TRR advertisement per Table 1 (single-path) or Appendix A.3
+    /// (multi-path). `cands` is the TBRR-plane candidate set; `best`
+    /// the TRR's own selection among them.
+    fn reflect(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        cands: &[Candidate],
+        best: Option<usize>,
+    ) {
+        let my_clients = ch.out.members(group::TRR_TO_CLIENTS).to_vec();
+        let from_client_side = |c: &Candidate| match c.source {
+            RouteSource::Ibgp { peer } => my_clients.contains(&peer),
+            RouteSource::Ebgp { .. } | RouteSource::Local => true,
+        };
+        if ch.spec.mode.tbrr_multipath() {
+            // Multi-path TBRR (Appendix A.3): all best AS-level routes
+            // go to clients; the client-side best AS-level routes go to
+            // other TRRs.
+            let surv = best_as_level(cands, &ch.spec.decision);
+            let to_clients: PathSet = surv
+                .iter()
+                .map(|&i| {
+                    let a = self.reflect_attrs(&cands[i]);
+                    (PathId(a.originator_id.expect("set").0), a)
+                })
+                .collect();
+            let client_side: Vec<Candidate> = cands
+                .iter()
+                .filter(|c| from_client_side(c))
+                .cloned()
+                .collect();
+            let surv_cs = best_as_level(&client_side, &ch.spec.decision);
+            let to_peers: PathSet = surv_cs
+                .iter()
+                .map(|&i| {
+                    let a = self.reflect_attrs(&client_side[i]);
+                    (PathId(a.originator_id.expect("set").0), a)
+                })
+                .collect();
+            ch.advertise_group(
+                ctx,
+                group::TRR_TO_CLIENTS,
+                prefix,
+                Plane::Tbrr,
+                to_clients,
+                |_| false,
+            );
+            ch.advertise_group(
+                ctx,
+                group::TRR_TO_PEERS,
+                prefix,
+                Plane::Tbrr,
+                to_peers,
+                |_| false,
+            );
+        } else {
+            // Single-path TBRR: reflect the single best route. If it was
+            // learned from a client (or eBGP/local), it goes to both
+            // clients and TRRs; if from a non-client, to clients only.
+            let (to_clients, to_peers, sender): (PathSet, PathSet, Option<RouterId>) = match best {
+                Some(i) => {
+                    let c = &cands[i];
+                    let a = self.reflect_attrs(c);
+                    let entry = vec![(PathId(a.originator_id.expect("set").0), a)];
+                    let sender = match c.source {
+                        RouteSource::Ibgp { peer } => Some(peer),
+                        _ => None,
+                    };
+                    if from_client_side(c) {
+                        (entry.clone(), entry, sender)
+                    } else {
+                        (entry, Vec::new(), sender)
+                    }
+                }
+                None => (Vec::new(), Vec::new(), None),
+            };
+            // "not returned to sender": skip the client we learned the
+            // best route from (originator filtering inside
+            // advertise_group() covers the common case; `sender` covers
+            // multi-hop reflection where originator != sender).
+            ch.advertise_group(
+                ctx,
+                group::TRR_TO_CLIENTS,
+                prefix,
+                Plane::Tbrr,
+                to_clients,
+                |m| Some(m) == sender,
+            );
+            ch.advertise_group(
+                ctx,
+                group::TRR_TO_PEERS,
+                prefix,
+                Plane::Tbrr,
+                to_peers,
+                |m| Some(m) == sender,
+            );
+        }
+    }
+}
+
+impl Role for TrrRole {
+    /// TRR-role input, with RFC 4456 loop prevention: drop routes whose
+    /// CLUSTER_LIST carries one of our cluster ids or whose
+    /// ORIGINATOR_ID is us.
+    fn absorb(&mut self, ch: &mut Chassis, rx: Rx) -> bool {
+        let Rx {
+            from,
+            prefix,
+            paths,
+            ..
+        } = rx;
+        let before = paths.len();
+        let kept: PathSet = paths
+            .into_iter()
+            .filter(|(_, a)| {
+                let cluster_loop = a
+                    .cluster_list
+                    .iter()
+                    .any(|c| self.trr_clusters.contains(&c.0));
+                let self_origin = a.originator_id.map(|o| o.0) == Some(ch.id.0);
+                !(cluster_loop || self_origin)
+            })
+            .collect();
+        ch.counters.loop_prevented += (before - kept.len()) as u64;
+        self.trr_in.set_paths(from, prefix, kept)
+    }
+
+    fn reselect(&self, ch: &Chassis, prefix: &Ipv4Prefix, cands: &mut Vec<Candidate>) {
+        // A TRR's forwarding view includes its TRR-role table.
+        if !self.trr_clusters.is_empty() && !ch.use_abrr_for(prefix) {
+            for (peer, _pid, attrs) in self.trr_in.all_paths(prefix) {
+                cands.push(Candidate {
+                    attrs: attrs.clone(),
+                    source: RouteSource::Ibgp { peer },
+                    neighbor_id: peer.0,
+                });
+            }
+        }
+    }
+
+    /// TRR-function advertisement from the TBRR plane: rebuild the
+    /// plane's candidate set (exit candidates + TRR table — for a pure
+    /// TRR this *is* the set the router just selected from, since its
+    /// client-role tables are provably empty), pick the plane-local
+    /// best, and reflect.
+    fn advertise(
+        &mut self,
+        ch: &mut Chassis,
+        ctx: &mut Ctx<BgpMsg>,
+        prefix: Ipv4Prefix,
+        env: &mut AdvertiseEnv<'_>,
+    ) {
+        let mut tbrr_cands: Vec<Candidate> = env.exit_cands.to_vec();
+        for (peer, _pid, attrs) in self.trr_in.all_paths(&prefix) {
+            tbrr_cands.push(Candidate {
+                attrs: attrs.clone(),
+                source: RouteSource::Ibgp { peer },
+                neighbor_id: peer.0,
+            });
+        }
+        let igp = ch.igp_metric_fn();
+        let best = best_path(&tbrr_cands, &ch.spec.decision, &igp);
+        drop(igp);
+        self.reflect(ch, ctx, prefix, &tbrr_cands, best);
+    }
+
+    fn rib_in_entries(&self) -> usize {
+        self.trr_in.num_entries()
+    }
+
+    fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
+        self.trr_in.known_prefixes()
+    }
+
+    fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
+        self.trr_in.drop_peer(peer)
+    }
+
+    fn on_restart(&mut self) {
+        self.trr_in = AdjRibIn::new();
+    }
+}

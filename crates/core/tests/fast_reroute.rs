@@ -102,6 +102,36 @@ fn backup_survives_primary_withdrawal_and_matches_reconvergence() {
 }
 
 #[test]
+fn no_backup_for_unknown_prefix() {
+    // No selection means nothing to back up: backup_route must not
+    // invent a route for a prefix the router has never heard of.
+    let (_spec, mut sim, routers) = net(true);
+    let p = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+    assert!(sim.run_to_quiescence().quiesced);
+    assert!(sim
+        .node(routers[5])
+        .backup_route(&pfx("172.16.0.0/12"))
+        .is_none());
+}
+
+#[test]
+fn no_backup_when_single_exit() {
+    // One exit only: every stored path shares the primary's exit, so
+    // there is no *distinct* backup even with the extension on.
+    let (_spec, mut sim, routers) = net(true);
+    let p = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+    assert!(sim.run_to_quiescence().quiesced);
+    let observer = routers[5];
+    assert_eq!(
+        sim.node(observer).selected(&p).unwrap().exit_router(),
+        routers[1]
+    );
+    assert!(sim.node(observer).backup_route(&p).is_none());
+}
+
+#[test]
 fn backups_do_not_change_selections() {
     // Keeping backups is pure extra state: primary selections must be
     // identical with and without it.

@@ -105,6 +105,89 @@ fn cutover_switches_ap_to_abrr_routes() {
 }
 
 #[test]
+fn spanning_prefix_needs_every_covering_ap() {
+    // §2.4 accept-set rule: a prefix covered by several APs switches to
+    // ABRR routes only once *all* of them are in the accept set. With
+    // ApMap::uniform(2), 0.0.0.0/0 overlaps both partitions.
+    let (spec, routers) = transition_net();
+    let mut sim = build_sim(spec.clone());
+    let p = pfx("0.0.0.0/0");
+    sim.schedule_external(0, routers[1], feed(p, 7018, 9001));
+    assert!(sim.run_to_quiescence().quiesced);
+    let victim = routers[4];
+
+    // Cut over AP0 only: the accept set {AP0} does not cover the
+    // spanning prefix, so it must stay on its TBRR-learned copy.
+    let t = sim.now() + 1;
+    for r in spec.all_nodes() {
+        sim.schedule_external(t, r, ExternalEvent::CutoverAp(ApId(0)));
+    }
+    assert!(sim.run_to_quiescence().quiesced);
+    let sel = sim.node(victim).selected(&p).expect("route");
+    assert!(
+        !sel.attrs.is_abrr_reflected(),
+        "spanning prefix flipped with only one of its APs cut over"
+    );
+
+    // Cut over AP1 too: now every covering AP is accepted.
+    let t = sim.now() + 1;
+    for r in spec.all_nodes() {
+        sim.schedule_external(t, r, ExternalEvent::CutoverAp(ApId(1)));
+    }
+    assert!(sim.run_to_quiescence().quiesced);
+    let sel = sim.node(victim).selected(&p).expect("route");
+    assert!(sel.attrs.is_abrr_reflected());
+    assert_eq!(sel.exit_router(), routers[1]);
+}
+
+#[test]
+fn repeated_cutover_is_a_noop() {
+    // The accept set is a set: re-announcing an already-cut-over AP must
+    // not recompute anything or generate a single update.
+    let (spec, routers) = transition_net();
+    let mut sim = build_sim(spec.clone());
+    let p0 = pfx("10.0.0.0/8");
+    sim.schedule_external(0, routers[1], feed(p0, 7018, 9001));
+    sim.run_to_quiescence();
+    let t = sim.now() + 1;
+    for r in spec.all_nodes() {
+        sim.schedule_external(t, r, ExternalEvent::CutoverAp(ApId(0)));
+    }
+    assert!(sim.run_to_quiescence().quiesced);
+
+    let generated_before: u64 = spec
+        .all_nodes()
+        .iter()
+        .map(|r| sim.node(*r).counters().generated)
+        .sum();
+    let selections_before: Vec<_> = routers
+        .iter()
+        .map(|r| sim.node(*r).selected(&p0).map(|s| s.exit_router()))
+        .collect();
+
+    let t = sim.now() + 1;
+    for r in spec.all_nodes() {
+        sim.schedule_external(t, r, ExternalEvent::CutoverAp(ApId(0)));
+    }
+    assert!(sim.run_to_quiescence().quiesced);
+
+    let generated_after: u64 = spec
+        .all_nodes()
+        .iter()
+        .map(|r| sim.node(*r).counters().generated)
+        .sum();
+    let selections_after: Vec<_> = routers
+        .iter()
+        .map(|r| sim.node(*r).selected(&p0).map(|s| s.exit_router()))
+        .collect();
+    assert_eq!(
+        generated_before, generated_after,
+        "duplicate cutover generated updates"
+    );
+    assert_eq!(selections_before, selections_after);
+}
+
+#[test]
 fn no_blackholes_at_any_stage() {
     let (spec, routers) = transition_net();
     let mut sim = build_sim(spec.clone());

@@ -3,7 +3,7 @@
 //!
 //! A [`FaultSchedule`] is plain data — it can be generated randomly
 //! from a seed, written to JSON, read back, and compiled onto any
-//! simulator with [`crate::compile`]. Replaying the same schedule on
+//! simulator with [`crate::compile()`]. Replaying the same schedule on
 //! the same deterministic simulator reproduces the same run event for
 //! event, which is what makes resilience experiments comparable across
 //! engines (ABRR vs TBRR vs full mesh see the *same* outages).

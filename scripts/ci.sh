@@ -24,6 +24,12 @@ echo "== engine determinism (sequential vs parallel 1/2/8)"
 cargo test -q -p faults --test parallel_determinism
 cargo test -q -p netsim parallel
 
+echo "== golden RIB-fingerprint regression (role engines vs recorded)"
+cargo test -q -p abrr-bench --test golden_regression
+
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== scale smoke (--threads 2, ~10 s)"
 cargo build --release -p abrr-bench --bin scale
 ./target/release/scale --workload churn --threads 2 --prefixes 200 --minutes 1

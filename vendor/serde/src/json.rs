@@ -1,4 +1,4 @@
-//! JSON text encoding for [`Value`](crate::Value) — the stub's
+//! JSON text encoding for [`crate::Value`] — the stub's
 //! replacement for `serde_json`.
 //!
 //! The grammar is JSON with one liberalization on *parse*: map keys
