@@ -6,7 +6,7 @@
 
 use abrr::prelude::*;
 use abrr::scenarios::{self, Scenario};
-use abrr_bench::{header, Args, FlagSpec};
+use abrr_bench::{header, Args, Experiment, FlagSpec};
 
 const FLAGS: &[FlagSpec] = &[];
 
@@ -26,7 +26,9 @@ fn verdict(s: &Scenario, mode: Mode, threads: usize) -> String {
 }
 
 fn main() {
-    let threads = Args::parse("correctness", FLAGS).threads();
+    let args = Args::parse("correctness", FLAGS);
+    let _obs = Experiment::from_args(&args);
+    let threads = args.threads();
     header(
         "§2.3 — oscillation / loop / efficiency audit",
         "gadgets: RFC3345-style MED oscillation; cyclic-IGP topology oscillation",

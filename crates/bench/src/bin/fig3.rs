@@ -7,7 +7,7 @@
 //! [--seed S] [--samples K]`
 
 use abrr_bench::pipeline::{col, f, t, u, Table};
-use abrr_bench::{flag, header, tier1_config, Args, FlagSpec};
+use abrr_bench::{flag, header, tier1_config, Args, Experiment, FlagSpec};
 use analysis::BalRegression;
 use workload::{Tier1Config, Tier1Model};
 
@@ -23,6 +23,7 @@ const FLAGS: &[FlagSpec] = &[
 
 fn main() {
     let args = Args::parse("fig3", FLAGS);
+    let _obs = Experiment::from_args(&args);
     let cfg = tier1_config(
         &args,
         Tier1Config {

@@ -12,13 +12,14 @@
 //! Run: `cargo run --release -p abrr-bench --bin fig4`
 
 use abrr_bench::pipeline::{print_panel, rib_panels};
-use abrr_bench::{header, Args, FlagSpec};
+use abrr_bench::{header, Args, Experiment, FlagSpec};
 use analysis::{BalRegression, Metric};
 
 const FLAGS: &[FlagSpec] = &[];
 
 fn main() {
     let _args = Args::parse("fig4", FLAGS);
+    let _obs = Experiment::from_args(&_args);
     let f = BalRegression::PAPER;
     header(
         "Figure 4 — # RIB-In entries of an ARR/TRR (analytical)",

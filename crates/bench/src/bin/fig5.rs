@@ -6,13 +6,14 @@
 //! Run: `cargo run --release -p abrr-bench --bin fig5`
 
 use abrr_bench::pipeline::{print_panel, rib_panels};
-use abrr_bench::{header, Args, FlagSpec};
+use abrr_bench::{header, Args, Experiment, FlagSpec};
 use analysis::{BalRegression, Metric};
 
 const FLAGS: &[FlagSpec] = &[];
 
 fn main() {
     let _args = Args::parse("fig5", FLAGS);
+    let _obs = Experiment::from_args(&_args);
     let f = BalRegression::PAPER;
     header(
         "Figure 5 — # RIB-Out entries of an ARR/TRR (analytical)",

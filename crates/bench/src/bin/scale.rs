@@ -17,7 +17,7 @@
 
 use abrr::prelude::*;
 use abrr_bench::pipeline::JsonRow;
-use abrr_bench::{flag, run_sim, Args, FlagSpec, SETTLE_BUDGET_US};
+use abrr_bench::{flag, run_sim, Args, Experiment, FlagSpec, SETTLE_BUDGET_US};
 use faults::{compile, FaultKind, FaultSchedule};
 use std::sync::Arc;
 use std::time::Instant;
@@ -173,6 +173,7 @@ fn failover_workload(
 
 fn main() {
     let args = Args::parse("scale", FLAGS);
+    let _obs = Experiment::from_args(&args);
     let workload = args.map_get("workload").unwrap_or("churn").to_string();
     let threads = args.threads();
     let seed: u64 = args.get("seed", Tier1Config::default().seed);

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p abrr-bench --bin sessions`
 
 use abrr_bench::pipeline::{col, f, t, Table};
-use abrr_bench::{flag, header, tier1_config, Args, FlagSpec};
+use abrr_bench::{flag, header, tier1_config, Args, Experiment, FlagSpec};
 use bgp_types::RouterId;
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
@@ -36,6 +36,7 @@ fn sessions_of(
 
 fn main() {
     let args = Args::parse("sessions", FLAGS);
+    let _obs = Experiment::from_args(&args);
     header(
         "§3.3 — iBGP sessions per role",
         "analytical counts for the paper's Tier-1 shape, plus simulator cross-check",

@@ -72,9 +72,7 @@ fn main() {
             std::process::exit(2);
         }
     });
-    let exp = Experiment {
-        threads: args.threads(),
-    };
+    let exp = Experiment::from_args(&args);
     let run = exp.converge(spec.clone(), &model);
     println!(
         "# converged: quiesced={} ({} events)\n",

@@ -34,6 +34,12 @@ const COMMON: &[FlagSpec] = &[
         "N",
         "engine: 0 = sequential (default), N >= 1 = deterministic parallel on N workers",
     ),
+    flag(
+        "obs",
+        "",
+        "enable the observability layer: metrics registry + engine profiling, \
+         printed as an obs_report when the experiment finishes (default off)",
+    ),
     flag("help", "", "print this flag list and exit"),
 ];
 
@@ -175,6 +181,14 @@ impl Args {
     /// useful for verifying the parallel path without concurrency).
     pub fn threads(&self) -> usize {
         self.get("threads", 0usize)
+    }
+
+    /// The `--obs` knob shared by every bench bin: turns on the
+    /// metrics registry and engine profiling for this invocation
+    /// (default off — the hot paths then pay only one relaxed atomic
+    /// load per instrumentation site).
+    pub fn obs(&self) -> bool {
+        self.flag("obs")
     }
 }
 

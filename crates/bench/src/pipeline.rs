@@ -58,15 +58,31 @@ pub fn tier1_config(args: &Args, base: Tier1Config) -> Tier1Config {
 pub struct Experiment {
     /// Worker count for [`crate::run_sim`] (0 = sequential engine).
     pub threads: usize,
+    /// Whether `--obs` turned the observability layer on; the
+    /// [`Drop`] impl then emits the [`obs_report`].
+    obs: bool,
 }
 
 impl Experiment {
     /// Prints the standard experiment header and fixes the engine
-    /// choice from `--threads`.
+    /// choice from `--threads`. With `--obs`, turns on the metrics
+    /// registry and engine profiling for the whole invocation.
     pub fn start(args: &Args, title: &str, detail: &str) -> Experiment {
         crate::header(title, detail);
+        Self::from_args(args)
+    }
+
+    /// Engine and obs setup without the standard header, for utility
+    /// binaries that own their output format.
+    pub fn from_args(args: &Args) -> Experiment {
+        let obs = args.obs();
+        if obs {
+            obs::metrics::set_enabled(true);
+            obs::profile::set_enabled(true);
+        }
         Experiment {
             threads: args.threads(),
+            obs,
         }
     }
 
@@ -74,12 +90,55 @@ impl Experiment {
     /// `spec`, replays the initial RIB snapshot, and settles it.
     pub fn converge(&self, spec: Arc<NetworkSpec>, model: &Tier1Model) -> Run {
         let (sim, outcome) = converge_snapshot(spec, model, 1_000, self.threads);
-        Run {
+        let run = Run {
             sim,
             outcome,
             threads: self.threads,
+        };
+        run.refresh_obs_gauges();
+        run
+    }
+}
+
+impl Drop for Experiment {
+    fn drop(&mut self) {
+        if self.obs {
+            print!("{}", obs_report());
         }
     }
+}
+
+/// Renders the end-of-experiment observability report: the metrics
+/// snapshot (per-node series summed into totals), the per-run engine
+/// profiles, and — when `ABRR_TRACE_FILE` names a path and tracing
+/// was enabled via `ABRR_TRACE` — the drained event trace as JSONL.
+pub fn obs_report() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("\n## obs_report\n");
+    let snap = obs::metrics::snapshot();
+    if snap.is_empty() {
+        out.push_str("metrics: (none recorded)\n");
+    } else {
+        out.push_str(&obs::metrics::render_snapshot(&snap));
+    }
+    let runs = obs::profile::take_runs();
+    if !runs.is_empty() {
+        out.push_str("engine runs:\n");
+        out.push_str(&obs::profile::render_runs(&runs));
+    }
+    if let Ok(path) = std::env::var("ABRR_TRACE_FILE") {
+        if !path.is_empty() {
+            let jsonl = obs::trace::drain_jsonl();
+            let n = jsonl.lines().count();
+            match std::fs::write(&path, jsonl) {
+                Ok(()) => writeln!(out, "trace: {n} events -> {path}").expect("write to String"),
+                Err(e) => {
+                    writeln!(out, "trace: failed to write {path}: {e}").expect("write to String")
+                }
+            }
+        }
+    }
+    out
 }
 
 /// A live simulation mid-pipeline: the sim plus the outcome of its most
@@ -111,6 +170,7 @@ impl Run {
     /// Workload stage: replays a churn trace and settles.
     pub fn churn(&mut self, model: &Tier1Model, cfg: &ChurnConfig) -> &RunOutcome {
         self.outcome = run_churn(&mut self.sim, model, cfg, 1, self.threads);
+        self.refresh_obs_gauges();
         &self.outcome
     }
 
@@ -125,7 +185,21 @@ impl Run {
             },
             self.threads,
         );
+        self.refresh_obs_gauges();
         &self.outcome
+    }
+
+    /// Publishes every node's per-role RIB occupancy into the obs
+    /// registry (no-op with metrics disabled). Called after each run
+    /// segment so the gauges reflect the settled state, never the hot
+    /// path.
+    pub fn refresh_obs_gauges(&self) {
+        if !obs::metrics::enabled() {
+            return;
+        }
+        for (_, node) in self.sim.nodes() {
+            node.record_obs_gauges();
+        }
     }
 
     /// Engine stage: settles for the standard budget from now.

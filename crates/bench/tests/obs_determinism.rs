@@ -1,0 +1,87 @@
+//! Engine-equivalence sweep for the observability layer.
+//!
+//! The determinism contract (DESIGN.md §10): with tracing and metrics
+//! enabled, the sequential engine and the parallel engine at any
+//! worker count must produce **byte-identical** event traces and
+//! **equal** metric snapshots — on top of the already-guaranteed
+//! identical fingerprints. This test runs every golden scenario under
+//! `threads = 0` (sequential reference) and `1 / 2 / 8` (epoch engine
+//! inline, small pool, oversubscribed pool) and compares all three
+//! artifacts.
+//!
+//! Everything lives in one `#[test]` because the obs layer is global
+//! state; a single test function serializes the runs by construction.
+
+use abrr_bench::fingerprint::scenarios;
+
+/// One scenario run under one engine, with fresh obs state.
+fn run_with_obs(
+    run: &dyn Fn(usize) -> String,
+    threads: usize,
+) -> (String, String, obs::MetricsSnapshot) {
+    obs::trace::reset();
+    obs::trace::set_spec("trace");
+    obs::metrics::reset();
+    obs::metrics::set_enabled(true);
+    let fp = run(threads);
+    let trace = obs::trace::drain_jsonl();
+    let snap = obs::metrics::snapshot();
+    obs::metrics::set_enabled(false);
+    obs::trace::set_spec("off");
+    (fp, trace, snap)
+}
+
+#[test]
+fn traces_and_metrics_identical_across_engines() {
+    for scenario in scenarios() {
+        let runner = |threads: usize| scenario.run(threads);
+        let (fp_ref, trace_ref, snap_ref) = run_with_obs(&runner, 0);
+        assert!(
+            !trace_ref.is_empty(),
+            "{}: sequential reference emitted no trace events",
+            scenario.name
+        );
+        assert!(
+            !snap_ref.is_empty(),
+            "{}: sequential reference recorded no metrics",
+            scenario.name
+        );
+        for threads in [1usize, 2, 8] {
+            let (fp, trace, snap) = run_with_obs(&runner, threads);
+            assert_eq!(
+                fp, fp_ref,
+                "{}: fingerprint diverged at {threads} workers",
+                scenario.name
+            );
+            assert_eq!(
+                snap, snap_ref,
+                "{}: metrics snapshot diverged at {threads} workers",
+                scenario.name
+            );
+            // Byte-identical, not just semantically equal: compare the
+            // rendered JSONL directly and report the first differing
+            // line on failure (a full-string assert would dump both
+            // multi-thousand-line traces).
+            if trace != trace_ref {
+                let diff = trace
+                    .lines()
+                    .zip(trace_ref.lines())
+                    .enumerate()
+                    .find(|(_, (a, b))| a != b);
+                match diff {
+                    Some((i, (got, want))) => panic!(
+                        "{}: trace diverged at {threads} workers, line {}:\n  seq: {want}\n  par: {got}",
+                        scenario.name,
+                        i + 1
+                    ),
+                    None => panic!(
+                        "{}: trace length diverged at {threads} workers ({} vs {} lines)",
+                        scenario.name,
+                        trace.lines().count(),
+                        trace_ref.lines().count()
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,57 @@ use crate::route::PathAttributes;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
+// ---------------------------------------------------------------------------
+// String interning (metric keys, trace names)
+// ---------------------------------------------------------------------------
+
+/// A process-wide interned string, represented as a dense `u32` id.
+///
+/// Symbols are the key type of the observability metrics registry: a
+/// metric is recorded thousands of times but named once, so the hot
+/// path carries a copyable 4-byte id instead of a `String`, and key
+/// comparison is an integer compare. Ids are assigned in first-intern
+/// order and are stable for the lifetime of the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+struct SymbolTable {
+    by_name: FxHashMap<String, u32>,
+    names: Vec<Arc<str>>,
+}
+
+fn symbol_table() -> &'static Mutex<SymbolTable> {
+    static TABLE: OnceLock<Mutex<SymbolTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(SymbolTable {
+            by_name: FxHashMap::default(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Interns `name`, returning its process-wide [`Symbol`]. Two calls
+/// with equal strings return equal symbols.
+pub fn intern_str(name: &str) -> Symbol {
+    let mut tab = symbol_table().lock().expect("symbol table poisoned");
+    if let Some(&id) = tab.by_name.get(name) {
+        return Symbol(id);
+    }
+    let id = tab.names.len() as u32;
+    tab.names.push(Arc::from(name));
+    tab.by_name.insert(name.to_string(), id);
+    Symbol(id)
+}
+
+/// Resolves a [`Symbol`] back to its string (shared, zero-copy).
+///
+/// # Panics
+/// Panics if `sym` was not produced by [`intern_str`] in this process.
+pub fn resolve_symbol(sym: Symbol) -> Arc<str> {
+    let tab = symbol_table().lock().expect("symbol table poisoned");
+    tab.names[sym.0 as usize].clone()
+}
+
 /// How many interning operations between lazy sweeps of dead entries.
 const SWEEP_EVERY: u64 = 4096;
 
@@ -160,6 +211,17 @@ mod tests {
     use super::*;
     use crate::asn::{AsPath, Asn};
     use crate::attrs::NextHop;
+
+    #[test]
+    fn symbols_dedup_and_resolve() {
+        let a = intern_str("obs.test.metric");
+        let b = intern_str("obs.test.metric");
+        assert_eq!(a, b);
+        let c = intern_str("obs.test.other");
+        assert_ne!(a, c);
+        assert_eq!(&*resolve_symbol(a), "obs.test.metric");
+        assert_eq!(&*resolve_symbol(c), "obs.test.other");
+    }
 
     fn attrs(nh: u32) -> PathAttributes {
         PathAttributes::ebgp(AsPath::sequence([Asn(100), Asn(200)]), NextHop(nh))

@@ -105,6 +105,25 @@ fn decode_as_path(mut body: &[u8]) -> Result<AsPath, WireError> {
     Ok(AsPath { segments })
 }
 
+/// RFC 4271 §6.3 (Attribute Flags Error): for recognized attributes,
+/// the OPTIONAL and TRANSITIVE flag bits must match the attribute's
+/// category. Returns the required bits, or `None` for unrecognized
+/// codes (whose handling depends only on the OPTIONAL bit).
+fn category_bits(ty: u8) -> Option<u8> {
+    Some(match ty {
+        code::ORIGIN
+        | code::AS_PATH
+        | code::NEXT_HOP
+        | code::LOCAL_PREF
+        | code::ATOMIC_AGGREGATE => flags::TRANSITIVE,
+        code::MED | code::ORIGINATOR_ID | code::CLUSTER_LIST => flags::OPTIONAL,
+        code::AGGREGATOR | code::COMMUNITIES | code::EXT_COMMUNITIES => {
+            flags::OPTIONAL | flags::TRANSITIVE
+        }
+        _ => return None,
+    })
+}
+
 /// Encodes the full attribute block (without the two-byte total-length
 /// field, which belongs to the UPDATE message).
 pub fn encode_attrs(attrs: &PathAttributes, out: &mut BytesMut) {
@@ -197,6 +216,11 @@ pub fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, WireError> {
         need("attribute header", buf.remaining(), 2)?;
         let flag = buf.get_u8();
         let code = buf.get_u8();
+        if let Some(want) = category_bits(code) {
+            if flag & (flags::OPTIONAL | flags::TRANSITIVE) != want {
+                return Err(WireError::BadAttributeFlags { code, flags: flag });
+            }
+        }
         let len = if flag & flags::EXT_LEN != 0 {
             need("attribute ext length", buf.remaining(), 2)?;
             buf.get_u16() as usize
@@ -382,6 +406,25 @@ mod tests {
             .flat_map(|s| s.asns().iter().copied())
             .collect();
         assert_eq!(all, (0..300).map(Asn).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrong_category_flags_are_error() {
+        // MED is optional non-transitive; marking it well-known
+        // (OPTIONAL bit clear) is an Attribute Flags Error.
+        let mut b = BytesMut::new();
+        encode_attrs(
+            &PathAttributes::ebgp(AsPath::sequence([Asn(1)]), NextHop(1)),
+            &mut b,
+        );
+        put_attr(&mut b, flags::TRANSITIVE, code::MED, &50u32.to_be_bytes());
+        assert!(matches!(
+            decode_attrs(&b),
+            Err(WireError::BadAttributeFlags {
+                code: code::MED,
+                flags: 0x40
+            })
+        ));
     }
 
     #[test]

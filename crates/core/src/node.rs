@@ -256,6 +256,27 @@ impl BgpNode {
         })
     }
 
+    /// Publishes this node's per-role Adj-RIB-In occupancy (plus
+    /// Loc-RIB and RIB-Out sizes) as per-node gauges in the obs
+    /// registry. No-op when metrics are disabled. Called at report
+    /// time by the bench pipeline — deliberately not on the hot path,
+    /// since occupancy is a state snapshot, not a flow.
+    pub fn record_obs_gauges(&self) {
+        if !obs::metrics::enabled() {
+            return;
+        }
+        let n = Some(self.ch.id.0);
+        let set = |name: &str, v: usize| {
+            obs::metrics::gauge(name, n).set(v as u64);
+        };
+        set("core.rib_in.client", self.client_in_entries());
+        set("core.rib_in.arr", self.arr_in_entries());
+        set("core.rib_in.trr", self.trr_in_entries());
+        set("core.rib_in.ebgp", self.ebgp_entries());
+        set("core.loc_rib", self.loc_rib_len());
+        set("core.rib_out", self.rib_out_size());
+    }
+
     /// The ARR-role paths currently stored from `peer` for `prefix`.
     pub fn arr_paths_from(
         &self,
@@ -327,6 +348,9 @@ impl BgpNode {
         self.client.reselect(&self.ch, &prefix, &mut cands);
         self.arr.reselect(&self.ch, &prefix, &mut cands);
         self.trr.reselect(&self.ch, &prefix, &mut cands);
+        if let Some(h) = self.ch.obs() {
+            h.decision_candidates.record(cands.len() as u64);
+        }
         let before = self.ch.loc_rib.get(&prefix).cloned();
         let sel = self.ch.select(prefix, &cands);
         let sel_changed = sel != before;
@@ -485,6 +509,9 @@ impl BgpNode {
                 InputKind::Unexpected => {
                     // Misconfiguration: drop, but never loop.
                     self.ch.counters.loop_prevented += 1;
+                    if let Some(h) = self.ch.obs() {
+                        h.loop_prevented.inc();
+                    }
                 }
             }
         }
@@ -503,6 +530,9 @@ impl Protocol for BgpNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<BgpMsg>, from: RouterId, msg: BgpMsg) {
         self.ch.counters.received += 1;
+        if let Some(h) = self.ch.obs() {
+            h.received.inc();
+        }
         let delay = self.ch.spec.proc_delay(self.ch.id);
         if delay == 0 {
             self.process_batch(ctx, vec![(from, msg)]);
@@ -595,6 +625,13 @@ impl Protocol for BgpNode {
             return;
         };
         let batch = mrai.flush(ctx.now());
+        if !batch.is_empty() {
+            if let Some(h) = self.ch.obs() {
+                h.mrai_batch.record(batch.len() as u64);
+            }
+            obs::event!(Core, Debug, "core.mrai.flush", node = self.ch.id.0,
+                "peer" => peer.0, "n" => batch.len());
+        }
         for (_prefix, msg) in batch {
             self.ch.do_send(ctx, peer, msg);
         }

@@ -92,6 +92,9 @@ impl BorderRole {
         attrs: Arc<PathAttributes>,
     ) {
         ch.counters.ebgp_events += 1;
+        if let Some(h) = ch.obs() {
+            h.ebgp_events.inc();
+        }
         let mut a = (*attrs).clone();
         a.next_hop = NextHop(ch.id.0);
         a.originator_id = None;
@@ -117,6 +120,9 @@ impl BorderRole {
         peer_addr: u32,
     ) -> bool {
         ch.counters.ebgp_events += 1;
+        if let Some(h) = ch.obs() {
+            h.ebgp_events.inc();
+        }
         let mut removed = false;
         if let Some(m) = self.ebgp_in.get_mut(&prefix) {
             removed = m.remove(&peer_addr).is_some();
@@ -188,7 +194,11 @@ impl Role for BorderRole {
         if n_sessions > 0 {
             let learned_here =
                 matches!(env.sel.map(|s| s.source), Some(RouteSource::Ebgp { .. })) as u64;
-            ch.counters.ebgp_exported += n_sessions.saturating_sub(learned_here);
+            let exported = n_sessions.saturating_sub(learned_here);
+            ch.counters.ebgp_exported += exported;
+            if let Some(h) = ch.obs() {
+                h.ebgp_exported.add(exported);
+            }
         }
     }
 

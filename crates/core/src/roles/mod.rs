@@ -48,6 +48,58 @@ use netsim::{Ctx, Mrai, MraiVerdict};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+/// Cached obs registry handles for one router, created lazily the
+/// first time metrics are enabled so the hot paths never pay a
+/// registry lock — only one relaxed enabled-load plus an atomic add.
+///
+/// The counter mirrors shadow [`UpdateCounters`] fields (which stay
+/// the always-on source of truth for results); the histograms are new
+/// per-node series the plain counters cannot express. All ops are
+/// commutative atomic adds, so sequential and parallel engine runs
+/// produce identical snapshots.
+pub(crate) struct ObsHandles {
+    pub(crate) received: obs::Counter,
+    pub(crate) generated: obs::Counter,
+    pub(crate) transmitted: obs::Counter,
+    pub(crate) bytes_transmitted: obs::Counter,
+    pub(crate) loop_prevented: obs::Counter,
+    pub(crate) ebgp_events: obs::Counter,
+    pub(crate) ebgp_exported: obs::Counter,
+    /// Updates flushed together by one MRAI timer expiry (§4.2 update
+    /// batching — the mechanism behind "one combined outbound update").
+    pub(crate) mrai_batch: obs::Histogram,
+    /// How long MRAI pacing deferred an update, in sim microseconds.
+    pub(crate) mrai_defer_us: obs::Histogram,
+    /// Candidate-set size entering the decision process.
+    pub(crate) decision_candidates: obs::Histogram,
+}
+
+impl ObsHandles {
+    fn new(id: RouterId) -> ObsHandles {
+        let n = Some(id.0);
+        ObsHandles {
+            received: obs::metrics::counter("core.updates.received", n),
+            generated: obs::metrics::counter("core.updates.generated", n),
+            transmitted: obs::metrics::counter("core.updates.transmitted", n),
+            bytes_transmitted: obs::metrics::counter("core.updates.bytes_transmitted", n),
+            loop_prevented: obs::metrics::counter("core.updates.loop_prevented", n),
+            ebgp_events: obs::metrics::counter("core.ebgp.events", n),
+            ebgp_exported: obs::metrics::counter("core.ebgp.exported", n),
+            mrai_batch: obs::metrics::histogram("core.mrai.batch", n, obs::metrics::COUNT_BOUNDS),
+            mrai_defer_us: obs::metrics::histogram(
+                "core.mrai.defer_us",
+                n,
+                obs::metrics::LATENCY_BOUNDS_US,
+            ),
+            decision_candidates: obs::metrics::histogram(
+                "core.decision.candidates",
+                n,
+                obs::metrics::COUNT_BOUNDS,
+            ),
+        }
+    }
+}
+
 /// The infrastructure shared by every role of one router: identity and
 /// spec, the per-peer-group Adj-RIB-Out, the Loc-RIB, update
 /// accounting, MRAI pacing, and the configuration that survives a
@@ -75,6 +127,8 @@ pub struct Chassis {
     /// static assignment; treated as configuration, so it survives a
     /// crash-restart.
     pub(crate) arr_override: BTreeMap<ApId, Vec<RouterId>>,
+    /// Lazily-built obs registry handles (see [`ObsHandles`]).
+    obs: Option<ObsHandles>,
 }
 
 impl Chassis {
@@ -97,7 +151,20 @@ impl Chassis {
             mrai: BTreeMap::new(),
             accept_abrr,
             arr_override: BTreeMap::new(),
+            obs: None,
         }
+    }
+
+    /// The obs handles when metrics are enabled (built on first use).
+    #[inline]
+    pub(crate) fn obs(&mut self) -> Option<&ObsHandles> {
+        if !obs::metrics::enabled() {
+            return None;
+        }
+        if self.obs.is_none() {
+            self.obs = Some(ObsHandles::new(self.id));
+        }
+        self.obs.as_ref()
     }
 
     /// The ARRs currently responsible for `ap`: a runtime reassignment
@@ -169,6 +236,10 @@ impl Chassis {
         });
         if self.loc_rib.set(prefix, selected.clone()) {
             *self.selection_changes.entry(prefix).or_default() += 1;
+            obs::event!(Core, Debug, "core.select", node = self.id.0,
+                "prefix" => format!("{prefix:?}"),
+                "cands" => cands.len(),
+                "some" => selected.is_some());
         }
         selected
     }
@@ -183,12 +254,16 @@ impl Chassis {
         }
         let interval = self.spec.mrai_us;
         let mrai = self.mrai.entry(peer).or_insert_with(|| Mrai::new(interval));
-        match mrai.offer(ctx.now(), (msg.plane, msg.prefix), msg) {
+        let now = ctx.now();
+        match mrai.offer(now, (msg.plane, msg.prefix), msg) {
             MraiVerdict::SendNow(msg) => self.do_send(ctx, peer, msg),
             MraiVerdict::Deferred {
                 flush_at,
                 need_timer,
             } => {
+                if let Some(h) = self.obs() {
+                    h.mrai_defer_us.record(flush_at.saturating_sub(now));
+                }
                 if need_timer {
                     ctx.set_timer(flush_at, peer.0 as u64);
                 }
@@ -198,9 +273,19 @@ impl Chassis {
 
     pub(crate) fn do_send(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId, msg: BgpMsg) {
         self.counters.transmitted += 1;
-        if self.spec.account_bytes {
-            self.counters.bytes_transmitted += msg.wire_bytes(true) as u64;
+        let bytes = if self.spec.account_bytes {
+            let b = msg.wire_bytes(true) as u64;
+            self.counters.bytes_transmitted += b;
+            b
+        } else {
+            0
+        };
+        if let Some(h) = self.obs() {
+            h.transmitted.inc();
+            h.bytes_transmitted.add(bytes);
         }
+        obs::event!(Core, Trace, "core.send", node = self.id.0,
+            "peer" => peer.0, "prefix" => format!("{:?}", msg.prefix));
         ctx.send(peer, msg);
     }
 
@@ -225,6 +310,9 @@ impl Chassis {
             return;
         }
         self.counters.generated += 1;
+        if let Some(h) = self.obs() {
+            h.generated.inc();
+        }
         let full: Arc<PathSet> = Arc::new(paths);
         let empty: Arc<PathSet> = Arc::new(Vec::new());
         // Only members that originated one of the paths need a filtered

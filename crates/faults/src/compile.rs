@@ -82,6 +82,11 @@ pub fn compile(
 
     for fault in &schedule.faults {
         let at = fault.at;
+        // Compilation happens pre-run on the main thread in schedule
+        // order, so these events take the trace's out-of-dispatch
+        // fallback ordering — identical for every engine.
+        obs::event!(Faults, Info, "faults.scheduled",
+            "at" => at, "kind" => format!("{:?}", fault.kind));
         match &fault.kind {
             FaultKind::SessionFlap { a, b, down_for } => {
                 let lat = *latencies

@@ -64,12 +64,14 @@ enum NodeEvent<P: Protocol> {
 
 /// The unit of work handed to a worker: one node plus all of its events
 /// in this epoch, in ascending event order. `pos` values index into the
-/// epoch's batch so the merge can restore global order.
+/// epoch's batch so the merge can restore global order; `id` is the
+/// heap entry's sequence id, used to stamp the trace dispatch context
+/// with the same `(time, id)` pair the sequential engine would.
 struct EpochTask<P: Protocol> {
     slot: usize,
     node_id: RouterId,
     node: P,
-    events: Vec<(u32, NodeEvent<P>)>,
+    events: Vec<(u32, u64, NodeEvent<P>)>,
 }
 
 /// What a worker returns: the node (moved back), the actions of all its
@@ -84,6 +86,7 @@ struct EpochResult<P: Protocol> {
 }
 
 fn execute_task<P: Protocol>(now: Time, task: EpochTask<P>) -> EpochResult<P> {
+    let task_start = obs::profile::enabled().then(std::time::Instant::now);
     let EpochTask {
         slot,
         node_id,
@@ -92,8 +95,11 @@ fn execute_task<P: Protocol>(now: Time, task: EpochTask<P>) -> EpochResult<P> {
     } = task;
     let mut actions: Vec<Action<P::Msg>> = Vec::new();
     let mut bounds = Vec::with_capacity(events.len());
-    for (pos, ev) in events {
+    for (pos, id, ev) in events {
         let start = actions.len();
+        // Same (time, id) stamp the sequential engine uses for this
+        // event, so traces emitted by the callback merge identically.
+        obs::trace::set_dispatch(now, id);
         let mut ctx = Ctx::for_worker(now, node_id, actions);
         match ev {
             NodeEvent::Msg { from, msg } => node.on_message(&mut ctx, from, msg),
@@ -102,6 +108,9 @@ fn execute_task<P: Protocol>(now: Time, task: EpochTask<P>) -> EpochResult<P> {
         }
         actions = ctx.into_actions();
         bounds.push((pos, (actions.len() - start) as u32));
+    }
+    if let Some(t0) = task_start {
+        obs::profile::add_task_ns(t0.elapsed().as_nanos() as u64);
     }
     EpochResult {
         slot,
@@ -135,7 +144,7 @@ impl<P: Protocol> Sim<P> {
         P::External: Send,
     {
         if threads <= 1 {
-            return self.run_epochs(limits, &mut |now, tasks| {
+            return self.run_epochs(1, limits, &mut |now, tasks| {
                 tasks.into_iter().map(|t| execute_task(now, t)).collect()
             });
         }
@@ -158,7 +167,7 @@ impl<P: Protocol> Sim<P> {
                     }
                 });
             }
-            let outcome = self.run_epochs(limits, &mut |now, tasks| {
+            let outcome = self.run_epochs(threads, limits, &mut |now, tasks| {
                 let k = tasks.len();
                 for t in tasks {
                     task_tx.send((now, t)).expect("worker pool hung up");
@@ -188,26 +197,31 @@ impl<P: Protocol> Sim<P> {
     /// their results in any order.
     fn run_epochs(
         &mut self,
+        threads: usize,
         limits: RunLimits,
         exec: &mut dyn FnMut(Time, Vec<EpochTask<P>>) -> Vec<EpochResult<P>>,
     ) -> RunOutcome {
+        let profiling = obs::profile::enabled();
+        let run_start = profiling.then(std::time::Instant::now);
+        if profiling {
+            obs::profile::run_started();
+        }
+        obs::trace::new_run();
         self.start();
         let mut events = 0u64;
-        loop {
+        let mut epochs = 0u64;
+        let mut max_queue = 0usize;
+        let mut max_epoch_batch = 0usize;
+        let quiesced = 'run: loop {
             let Some(head) = self.heap.peek() else {
-                return RunOutcome {
-                    quiesced: true,
-                    events,
-                    end_time: self.now,
-                };
+                break 'run true;
             };
             let at = head.at;
             if events >= limits.max_events || at > limits.max_time {
-                return RunOutcome {
-                    quiesced: false,
-                    events,
-                    end_time: self.now,
-                };
+                break 'run false;
+            }
+            if profiling {
+                max_queue = max_queue.max(self.heap.len());
             }
             if is_global(&head.ev) {
                 // Shared-state mutation: run one event sequentially on
@@ -215,6 +229,7 @@ impl<P: Protocol> Sim<P> {
                 let entry = self.heap.pop().expect("peeked entry vanished");
                 self.now = at;
                 events += 1;
+                obs::trace::set_dispatch(at, entry.id);
                 self.dispatch_event(entry.ev);
                 continue;
             }
@@ -222,7 +237,7 @@ impl<P: Protocol> Sim<P> {
             // replicating the sequential engine's per-event drop
             // bookkeeping (drops count as processed events).
             self.now = at;
-            let mut batch: Vec<(RouterId, NodeEvent<P>)> = Vec::new();
+            let mut batch: Vec<(RouterId, u64, NodeEvent<P>)> = Vec::new();
             while let Some(head) = self.heap.peek() {
                 if head.at != at || is_global(&head.ev) || events >= limits.max_events {
                     break;
@@ -238,20 +253,20 @@ impl<P: Protocol> Sim<P> {
                         if let Some(stats) = self.stats.get_mut(&to) {
                             stats.received += 1;
                         }
-                        batch.push((to, NodeEvent::Msg { from, msg }));
+                        batch.push((to, entry.id, NodeEvent::Msg { from, msg }));
                     }
                     Event::Timer { node, token } => {
                         if self.down.contains(&node) {
                             continue;
                         }
-                        batch.push((node, NodeEvent::Timer { token }));
+                        batch.push((node, entry.id, NodeEvent::Timer { token }));
                     }
                     Event::External { node, ev } => {
                         if self.down.contains(&node) {
                             self.dropped += 1;
                             continue;
                         }
-                        batch.push((node, NodeEvent::External { ev }));
+                        batch.push((node, entry.id, NodeEvent::External { ev }));
                     }
                     _ => unreachable!("global event in pure prefix"),
                 }
@@ -264,7 +279,7 @@ impl<P: Protocol> Sim<P> {
             // within each task.
             let mut slot_of: BTreeMap<RouterId, usize> = BTreeMap::new();
             let mut tasks: Vec<EpochTask<P>> = Vec::new();
-            for (pos, (node_id, ev)) in batch.into_iter().enumerate() {
+            for (pos, (node_id, id, ev)) in batch.into_iter().enumerate() {
                 let slot = match slot_of.get(&node_id) {
                     Some(&s) => s,
                     None => {
@@ -285,7 +300,11 @@ impl<P: Protocol> Sim<P> {
                         s
                     }
                 };
-                tasks[slot].events.push((pos as u32, ev));
+                tasks[slot].events.push((pos as u32, id, ev));
+            }
+            if profiling {
+                epochs += 1;
+                max_epoch_batch = max_epoch_batch.max(n);
             }
             let k = tasks.len();
             let results = exec(at, tasks);
@@ -319,6 +338,25 @@ impl<P: Protocol> Sim<P> {
                     self.apply_action(from, action);
                 }
             }
+        };
+        obs::trace::clear_dispatch();
+        self.record_run_metrics(events);
+        if let Some(t0) = run_start {
+            obs::profile::run_finished(obs::profile::RunProfile {
+                engine: "par",
+                threads,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                events,
+                epochs,
+                max_queue,
+                max_epoch_batch,
+                task_ns: 0,
+            });
+        }
+        RunOutcome {
+            quiesced,
+            events,
+            end_time: self.now,
         }
     }
 }
@@ -405,7 +443,9 @@ mod tests {
         sim
     }
 
-    fn fingerprint(sim: &Sim<Gossip>) -> (Vec<(RouterId, u64, Vec<(RouterId, u32)>)>, u64, Time) {
+    type Fingerprint = (Vec<(RouterId, u64, Vec<(RouterId, u32)>)>, u64, Time);
+
+    fn fingerprint(sim: &Sim<Gossip>) -> Fingerprint {
         let nodes = sim
             .nodes()
             .map(|(id, g)| (id, g.sum, g.log.clone()))
@@ -514,7 +554,7 @@ mod tests {
         let mut seq = ring(4, |_| 10);
         seed_timers(&mut seq);
         seq.run_to_quiescence();
-        assert!(seq.node(RouterId(1)).sum >= 5 + 4 + 3 + 2 + 1);
+        assert!(seq.node(RouterId(1)).sum >= 15);
 
         let mut par = ring(4, |_| 10);
         seed_timers(&mut par);

@@ -385,27 +385,67 @@ impl<P: Protocol> Sim<P> {
 
     /// Runs the event loop until quiescence or a limit.
     pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
+        let profiling = obs::profile::enabled();
+        let run_start = profiling.then(std::time::Instant::now);
+        if profiling {
+            obs::profile::run_started();
+        }
+        obs::trace::new_run();
         self.start();
         let mut events = 0u64;
+        let mut max_queue = 0usize;
+        let mut quiesced = true;
         while let Some(head) = self.heap.peek() {
             let at = head.at;
             if events >= limits.max_events || at > limits.max_time {
-                return RunOutcome {
-                    quiesced: false,
-                    events,
-                    end_time: self.now,
-                };
+                quiesced = false;
+                break;
+            }
+            if profiling {
+                max_queue = max_queue.max(self.heap.len());
             }
             let entry = self.heap.pop().expect("peeked entry vanished");
             self.now = at;
             events += 1;
+            // Stamp the trace dispatch context with this entry's
+            // (time, id) — the parallel engine stamps the same pairs,
+            // which is what makes merged traces byte-identical.
+            obs::trace::set_dispatch(at, entry.id);
             self.dispatch_event(entry.ev);
         }
+        obs::trace::clear_dispatch();
+        self.record_run_metrics(events);
+        if let Some(t0) = run_start {
+            obs::profile::run_finished(obs::profile::RunProfile {
+                engine: "seq",
+                threads: 0,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                events,
+                max_queue,
+                ..Default::default()
+            });
+        }
         RunOutcome {
-            quiesced: true,
+            quiesced,
             events,
             end_time: self.now,
         }
+    }
+
+    /// Mirrors run-level totals into the metrics registry (one batched
+    /// add per run — never per event). Shared by both engines.
+    pub(crate) fn record_run_metrics(&self, events: u64) {
+        if !obs::metrics::enabled() {
+            return;
+        }
+        static EVENTS: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+        static DROPPED: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        EVENTS
+            .get_or_init(|| obs::metrics::counter("netsim.events", None))
+            .add(events);
+        DROPPED
+            .get_or_init(|| obs::metrics::gauge("netsim.msg.dropped", None))
+            .set(self.dropped);
     }
 
     /// Applies a single event at the current time. Shared by the
@@ -438,6 +478,8 @@ impl<P: Protocol> Sim<P> {
             }
             Event::SessionDown { a, b } => {
                 if self.has_session(a, b) {
+                    obs::event!(Netsim, Info, "netsim.session_down",
+                        "a" => a.0, "b" => b.0);
                     self.remove_session(a, b);
                     for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
                         if !self.down.contains(&me) {
@@ -448,6 +490,8 @@ impl<P: Protocol> Sim<P> {
             }
             Event::SessionUp { a, b, latency } => {
                 if !self.down.contains(&a) && !self.down.contains(&b) && !self.has_session(a, b) {
+                    obs::event!(Netsim, Info, "netsim.session_up",
+                        "a" => a.0, "b" => b.0, "latency_us" => latency);
                     self.add_session(a, b, latency);
                     for (me, peer) in [(a.min(b), a.max(b)), (a.max(b), a.min(b))] {
                         self.with_node(me, |n, ctx| n.on_session_up(ctx, peer));
@@ -456,6 +500,7 @@ impl<P: Protocol> Sim<P> {
             }
             Event::NodeDown { node } => {
                 if self.down.insert(node) {
+                    obs::event!(Netsim, Info, "netsim.node_down", node = node.0);
                     self.drop_node_events(node);
                     let torn: Vec<(RouterId, RouterId)> = self
                         .sessions
@@ -474,6 +519,7 @@ impl<P: Protocol> Sim<P> {
             }
             Event::NodeUp { node } => {
                 if self.down.remove(&node) {
+                    obs::event!(Netsim, Info, "netsim.node_up", node = node.0);
                     self.with_node(node, |n, ctx| n.on_restart(ctx));
                 }
             }
@@ -516,6 +562,19 @@ impl<P: Protocol> Sim<P> {
                 if let Some(&lat) = self.session_latency(from, to) {
                     if let Some(stats) = self.stats.get_mut(&from) {
                         stats.transmitted += 1;
+                    }
+                    if obs::metrics::enabled() {
+                        static SEND_LAT: std::sync::OnceLock<obs::Histogram> =
+                            std::sync::OnceLock::new();
+                        SEND_LAT
+                            .get_or_init(|| {
+                                obs::metrics::histogram(
+                                    "netsim.send.latency_us",
+                                    None,
+                                    obs::metrics::LATENCY_BOUNDS_US,
+                                )
+                            })
+                            .record(lat);
                     }
                     self.push(self.now + lat, Event::Deliver { from, to, msg });
                 } else {

@@ -25,7 +25,13 @@ cargo test -q -p faults --test parallel_determinism
 cargo test -q -p netsim parallel
 
 echo "== golden RIB-fingerprint regression (role engines vs recorded)"
+# Observability defaults off here, so this doubles as the gate that the
+# disabled obs path cannot drift golden results.
 cargo test -q -p abrr-bench --test golden_regression
+
+echo "== observability: unit tests + engine trace/metric equivalence"
+cargo test -q -p obs
+cargo test -q -p abrr-bench --test obs_determinism
 
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

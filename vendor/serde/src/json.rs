@@ -373,7 +373,7 @@ mod tests {
     fn scalar_roundtrips() {
         assert_eq!(from_str::<u64>(&to_string(&42u64)).unwrap(), 42);
         assert_eq!(from_str::<i64>(&to_string(&-42i64)).unwrap(), -42);
-        assert_eq!(from_str::<bool>(&to_string(&true)).unwrap(), true);
+        assert!(from_str::<bool>(&to_string(&true)).unwrap());
         assert_eq!(from_str::<f64>(&to_string(&1.25f64)).unwrap(), 1.25);
         assert_eq!(from_str::<f64>(&to_string(&3.0f64)).unwrap(), 3.0);
         assert_eq!(
