@@ -1,0 +1,272 @@
+//! Scenario corpus runner and fuzzer driver.
+//!
+//! Three stages, each optional:
+//!
+//!   * **corpus** (default): loads every `*.json` under `--dir` and
+//!     runs its oracle checks, printing one verdict row per scenario.
+//!     An `expect_verdict: fail` gadget passes exactly when an oracle
+//!     catches the seeded violation.
+//!   * **fuzz** (`--fuzz N`): runs N seeded random scenarios through
+//!     the same oracle stack; any failure is shrunk to a minimal gadget
+//!     and written under `--shrink-dir`, ready to be committed to the
+//!     corpus as a regression.
+//!   * **overlays** (`--overlays PATH`): writes the iBGP overlay
+//!     session-count comparison (paper §4.2): full mesh vs TBRR vs
+//!     ABRR at tier-1 scale, plus the constrained-connectivity gadget
+//!     where the same trimmed overlay blackholes TBRR but leaves ABRR
+//!     correct.
+//!
+//! Exit status is non-zero if any corpus scenario misses its expected
+//! verdict or any fuzz case fails, so CI can gate on it.
+//!
+//! Run: `cargo run --release -p abrr-bench --bin scenario --
+//!       [--dir D] [--fuzz N] [--seed N] [--shrink-dir D]
+//!       [--overlays PATH] [--threads N]`
+
+use abrr_bench::pipeline::{col, lcol, t, u, Table};
+use abrr_bench::{flag, Args, Experiment, FlagSpec};
+use scenario::schema::ModeSpec;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use workload::specs::{self, SpecOptions};
+use workload::{Tier1Config, Tier1Model};
+
+const FLAGS: &[FlagSpec] = &[
+    flag("dir", "D", "corpus directory (default examples/scenarios)"),
+    flag(
+        "fuzz",
+        "N",
+        "generated scenarios to run after the corpus (default 0)",
+    ),
+    flag("seed", "N", "fuzzer base seed (default 2870485009)"),
+    flag(
+        "shrink-dir",
+        "D",
+        "directory for shrunk failing scenarios (default results/shrunk)",
+    ),
+    flag(
+        "overlays",
+        "PATH",
+        "write the overlay session-count table to PATH",
+    ),
+    flag("no-corpus", "", "skip the corpus stage"),
+];
+
+/// Sessions a spec configures, via a throwaway sim.
+fn sessions(spec: abrr::NetworkSpec) -> u64 {
+    abrr::build_sim(Arc::new(spec)).num_sessions() as u64
+}
+
+fn corpus_stage(dir: &Path, threads: usize) -> bool {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("scenario: cannot read corpus dir {}: {e}", dir.display());
+            return false;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("scenario: no *.json scenarios in {}", dir.display());
+        return false;
+    }
+    let table = Table::new(vec![
+        lcol("scenario", 26),
+        col("checks", 6),
+        lcol("verdict", 8),
+        lcol("detail", 44),
+    ]);
+    table.header();
+    let mut ok = true;
+    for path in &paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let loaded = match scenario::load_path(path) {
+            Ok(l) => l,
+            Err(errs) => {
+                ok = false;
+                table.row(&[t(name), u(0), t("ERROR"), t(format!("{}", errs[0]))]);
+                continue;
+            }
+        };
+        let report = scenario::run_checks(&loaded, threads);
+        let verdict_ok = report.verdict_ok();
+        ok &= verdict_ok;
+        let verdict = match (verdict_ok, report.expect_fail) {
+            (true, false) => "pass",
+            (true, true) => "xfail",
+            (false, _) => "FAIL",
+        };
+        let detail = match report.failures.first() {
+            Some(f) if report.expect_fail && verdict_ok => format!("caught: {f}"),
+            Some(f) => format!("{f}"),
+            None if report.expect_fail => "no oracle tripped".to_string(),
+            None => String::new(),
+        };
+        table.row(&[t(name), u(report.checks_run as u64), t(verdict), t(detail)]);
+    }
+    println!(
+        "\n# corpus: {} scenarios, {}",
+        paths.len(),
+        if ok { "all verdicts ok" } else { "FAILURES" }
+    );
+    ok
+}
+
+fn fuzz_stage(seed: u64, cases: usize, shrink_dir: &Path, threads: usize) -> bool {
+    println!("\n# fuzz: {cases} cases from seed {seed}");
+    let outcome = scenario::fuzz(seed, cases, Some(shrink_dir), threads, |s, rep| {
+        if !rep.all_green() {
+            println!("  seed {s}: {} oracle failure(s)", rep.failures.len());
+        }
+    });
+    for fail in &outcome.failures {
+        println!(
+            "  seed {}: first failure: {}",
+            fail.seed,
+            fail.report
+                .failures
+                .first()
+                .map(|f| f.to_string())
+                .unwrap_or_default()
+        );
+        if let Some(p) = &fail.written_to {
+            println!(
+                "  seed {}: shrunk scenario written to {}",
+                fail.seed,
+                p.display()
+            );
+        }
+    }
+    println!(
+        "# fuzz: {} cases, {} checks, {}",
+        outcome.cases,
+        outcome.checks_run,
+        if outcome.all_green() {
+            "all green".to_string()
+        } else {
+            format!("{} FAILURES", outcome.failures.len())
+        }
+    );
+    outcome.all_green()
+}
+
+/// §4.2 overlay comparison: configured iBGP session counts at tier-1
+/// scale, plus the constrained-connectivity gadget where the trimmed
+/// overlay breaks TBRR but not ABRR.
+fn overlays_stage(path: &str, corpus_dir: &Path) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    // Session counts are workload-independent; a tiny prefix table
+    // keeps the model generation instant.
+    let model = Tier1Model::generate(Tier1Config {
+        n_prefixes: 10,
+        ..Tier1Config::default()
+    });
+    let n = model.routers.len() as u64;
+    let opts = SpecOptions::default();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Overlay session counts — ABRR vs TBRR vs full mesh (§4.2)"
+    )
+    .unwrap();
+    writeln!(out, "# tier-1 model: {n} routers, 13 PoPs x 8").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "{:<28} {:>10}", "overlay", "sessions").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>10}",
+        "full mesh",
+        sessions(specs::full_mesh_spec(&model, &opts))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>10}",
+        "TBRR 2 TRRs/cluster",
+        sessions(specs::tbrr_spec(&model, 2, false, &opts))
+    )
+    .unwrap();
+    for aps in [1usize, 2, 4, 8, 13] {
+        writeln!(
+            out,
+            "{:<28} {:>10}",
+            format!("ABRR #APs={aps} 2 ARRs/AP"),
+            sessions(specs::abrr_spec(&model, aps, 2, &opts))
+        )
+        .unwrap();
+    }
+    // The gadget: identical link_down trims in both planes.
+    let gadget = corpus_dir.join("constrained_connectivity.json");
+    if let Ok(loaded) = scenario::load_path(&gadget) {
+        let trims = loaded.file().faults.len() as u64;
+        let tbrr = sessions(loaded.spec(ModeSpec::Tbrr));
+        let abrr = sessions(loaded.spec(ModeSpec::Abrr));
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "# constrained-connectivity gadget (same {trims} session(s) trimmed in both planes)"
+        )
+        .unwrap();
+        writeln!(out, "{:<28} {:>10}", "gadget TBRR configured", tbrr).unwrap();
+        writeln!(out, "{:<28} {:>10}", "gadget TBRR after trim", tbrr - trims).unwrap();
+        writeln!(out, "{:<28} {:>10}", "gadget ABRR configured", abrr).unwrap();
+        writeln!(out, "{:<28} {:>10}", "gadget ABRR after trim", abrr - trims).unwrap();
+        writeln!(
+            out,
+            "# verdict (see corpus): trimmed TBRR blackholes cluster 3; trimmed ABRR stays correct"
+        )
+        .unwrap();
+    }
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, &out)?;
+    println!("\n# overlays table written to {path}");
+    print!("{out}");
+    Ok(())
+}
+
+fn main() {
+    let args = Args::parse("scenario", FLAGS);
+    let exp = Experiment::start(
+        &args,
+        "scenario corpus",
+        "declarative scenario DSL: corpus verdicts, seeded fuzzer, overlay comparison",
+    );
+    let dir = PathBuf::from(
+        args.map_get("dir")
+            .unwrap_or("examples/scenarios")
+            .to_string(),
+    );
+    let mut ok = true;
+    if !args.flag("no-corpus") {
+        ok &= corpus_stage(&dir, exp.threads);
+    }
+    let cases: usize = args.get("fuzz", 0usize);
+    if cases > 0 {
+        let seed: u64 = args.get("seed", 0xAB18_2011u64);
+        let shrink_dir = PathBuf::from(
+            args.map_get("shrink-dir")
+                .unwrap_or("results/shrunk")
+                .to_string(),
+        );
+        ok &= fuzz_stage(seed, cases, &shrink_dir, exp.threads);
+    }
+    if let Some(path) = args.map_get("overlays") {
+        if let Err(e) = overlays_stage(path, &dir) {
+            eprintln!("scenario: overlays stage failed: {e}");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

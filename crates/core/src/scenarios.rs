@@ -11,18 +11,69 @@
 //!   between RRs", which ABRR's single reflection hop eliminates).
 
 use crate::msg::ExternalEvent;
-use crate::spec::{ClusterSpec, LatencyModel, Mode, NetworkSpec};
+use crate::spec::{AbrrLoopPrevention, ClusterSpec, LatencyModel, Mode, NetworkSpec};
 use bgp_rib::DecisionConfig;
 use bgp_types::{ApId, ApMap, AsPath, Asn, Ipv4Prefix, NextHop, PathAttributes, RouterId};
 use igp::{IgpOracle, Topology};
+use netsim::Time;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Spec knobs a scenario may override. Defaults match the historical
+/// hardcoded gadget settings (zero MRAI, fixed 1 ms latency, reflected
+/// bit, no processing delay), so `ScenarioTuning::default()` preserves
+/// the behavior of every pre-existing gadget bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct ScenarioTuning {
+    /// Min route advertisement interval, microseconds.
+    pub mrai_us: Time,
+    /// Clients retain full ARR advertisement sets for fast reroute.
+    pub clients_keep_backups: bool,
+    /// ABRR reflection loop-prevention flavor.
+    pub abrr_loop_prevention: AbrrLoopPrevention,
+    /// Session latency model.
+    pub latency: LatencyModel,
+    /// RRs also participate as clients (hold the full table).
+    pub rrs_are_clients: bool,
+    /// Account per-message wire bytes in counters.
+    pub account_bytes: bool,
+    /// Client processing delay, base microseconds.
+    pub proc_delay_base_us: Time,
+    /// Client processing delay, deterministic spread.
+    pub proc_delay_spread_us: Time,
+    /// RR processing delay, base microseconds.
+    pub rr_proc_delay_base_us: Time,
+    /// RR processing delay, deterministic spread.
+    pub rr_proc_delay_spread_us: Time,
+}
+
+impl Default for ScenarioTuning {
+    fn default() -> Self {
+        ScenarioTuning {
+            mrai_us: 0,
+            clients_keep_backups: false,
+            abrr_loop_prevention: AbrrLoopPrevention::ReflectedBit,
+            latency: LatencyModel::Fixed(1_000),
+            rrs_are_clients: true,
+            account_bytes: false,
+            proc_delay_base_us: 0,
+            proc_delay_spread_us: 0,
+            rr_proc_delay_base_us: 0,
+            rr_proc_delay_spread_us: 0,
+        }
+    }
+}
+
 /// A reusable scenario: topology, role assignments, and eBGP feeds.
+///
+/// Historically each scenario was a hand-written Rust function; the
+/// `scenario` crate now also compiles declarative scenario files into
+/// this same structure, so everything downstream (spec building, the
+/// engines, the auditors) is shared between the two sources.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Human-readable name.
-    pub name: &'static str,
+    pub name: String,
     /// The IGP topology.
     pub topo: Topology,
     /// Data-plane routers.
@@ -35,16 +86,63 @@ pub struct Scenario {
     pub feeds: Vec<(RouterId, ExternalEvent)>,
     /// The prefixes the feeds cover.
     pub prefixes: Vec<Ipv4Prefix>,
+    /// Address-partition map for ABRR modes. `None` means the single
+    /// full-space AP the gadgets historically used.
+    pub ap_map: Option<ApMap>,
+    /// Per-AP ARR assignment for ABRR modes. Empty means "every RR
+    /// serves every AP".
+    pub arrs: BTreeMap<ApId, Vec<RouterId>>,
+    /// Spec knobs (MRAI, latency, backups, ...).
+    pub tuning: ScenarioTuning,
+    /// Additional timed external events: `(time, router, event)`.
+    /// Unlike `feeds` these fire at their own timestamps — cutovers,
+    /// late announcements, withdrawals.
+    pub events: Vec<(Time, RouterId, ExternalEvent)>,
 }
 
 impl Scenario {
+    /// A scenario with the given structure and default tuning — the
+    /// constructor all the canonical gadgets use.
+    pub fn gadget(
+        name: impl Into<String>,
+        topo: Topology,
+        routers: Vec<RouterId>,
+        rrs: Vec<RouterId>,
+        clusters: Vec<ClusterSpec>,
+        feeds: Vec<(RouterId, ExternalEvent)>,
+        prefixes: Vec<Ipv4Prefix>,
+    ) -> Scenario {
+        Scenario {
+            name: name.into(),
+            topo,
+            routers,
+            rrs,
+            clusters,
+            feeds,
+            prefixes,
+            ap_map: None,
+            arrs: BTreeMap::new(),
+            tuning: ScenarioTuning::default(),
+            events: Vec::new(),
+        }
+    }
+
     /// Builds a [`NetworkSpec`] for this scenario under the given mode.
-    /// In ABRR/transition modes the scenario's RRs serve a single AP
-    /// covering the whole address space (these gadgets use one prefix).
+    /// In ABRR/transition modes the scenario's RRs serve the scenario's
+    /// AP map (default: a single AP covering the whole address space).
     pub fn spec(&self, mode: Mode) -> NetworkSpec {
+        let ap_map = mode
+            .has_abrr()
+            .then(|| self.ap_map.clone().unwrap_or_else(|| ApMap::uniform(1)));
         let mut arrs = BTreeMap::new();
         if mode.has_abrr() {
-            arrs.insert(ApId(0), self.rrs.clone());
+            if self.arrs.is_empty() {
+                for p in ap_map.as_ref().unwrap().partitions() {
+                    arrs.insert(p.id, self.rrs.clone());
+                }
+            } else {
+                arrs = self.arrs.clone();
+            }
         }
         NetworkSpec {
             asn: Asn(65000),
@@ -52,23 +150,23 @@ impl Scenario {
             routers: self.routers.clone(),
             oracle: Arc::new(IgpOracle::compute(&self.topo)),
             decision: DecisionConfig::default(),
-            mrai_us: 0,
-            ap_map: mode.has_abrr().then(|| ApMap::uniform(1)),
+            mrai_us: self.tuning.mrai_us,
+            ap_map,
             arrs,
             clusters: if mode.has_tbrr() {
                 self.clusters.clone()
             } else {
                 Vec::new()
             },
-            rrs_are_clients: true,
-            account_bytes: false,
-            abrr_loop_prevention: crate::spec::AbrrLoopPrevention::ReflectedBit,
-            clients_keep_backups: false,
-            proc_delay_base_us: 0,
-            proc_delay_spread_us: 0,
-            rr_proc_delay_base_us: 0,
-            rr_proc_delay_spread_us: 0,
-            latency: LatencyModel::Fixed(1_000),
+            rrs_are_clients: self.tuning.rrs_are_clients,
+            account_bytes: self.tuning.account_bytes,
+            abrr_loop_prevention: self.tuning.abrr_loop_prevention,
+            clients_keep_backups: self.tuning.clients_keep_backups,
+            proc_delay_base_us: self.tuning.proc_delay_base_us,
+            proc_delay_spread_us: self.tuning.proc_delay_spread_us,
+            rr_proc_delay_base_us: self.tuning.rr_proc_delay_base_us,
+            rr_proc_delay_spread_us: self.tuning.rr_proc_delay_spread_us,
+            latency: self.tuning.latency,
         }
     }
 
@@ -95,6 +193,9 @@ impl Scenario {
         let mut sim = crate::spec::build_sim(spec);
         for (router, ev) in &self.feeds {
             sim.schedule_external(0, *router, ev.clone());
+        }
+        for (at, router, ev) in &self.events {
+            sim.schedule_external(*at, *router, ev.clone());
         }
         let limits = netsim::RunLimits {
             max_events,
@@ -144,12 +245,12 @@ pub fn med_gadget() -> Scenario {
     topo.add_link(r(1), r(3), 5); // RR1 - A
     topo.add_link(r(1), r(2), 4); // RR1 - RR2
     topo.add_link(r(2), r(5), 20); // RR2 - C
-    Scenario {
-        name: "med-gadget",
+    Scenario::gadget(
+        "med-gadget",
         topo,
-        routers: vec![r(3), r(4), r(5)],
-        rrs: vec![r(1), r(2)],
-        clusters: vec![
+        vec![r(3), r(4), r(5)],
+        vec![r(1), r(2)],
+        vec![
             ClusterSpec {
                 id: 1,
                 trrs: vec![r(1)],
@@ -161,13 +262,13 @@ pub fn med_gadget() -> Scenario {
                 clients: vec![r(5)],
             },
         ],
-        feeds: vec![
+        vec![
             (r(3), ebgp_feed(prefix, 100, 9100, 0)), // A: AS100, MED 0
             (r(4), ebgp_feed(prefix, 200, 9200, 1)), // B: AS200, MED 1
             (r(5), ebgp_feed(prefix, 200, 9201, 0)), // C: AS200, MED 0
         ],
-        prefixes: vec![prefix],
-    }
+        vec![prefix],
+    )
 }
 
 /// The topology-based oscillation gadget: three clusters in a cycle of
@@ -185,12 +286,12 @@ pub fn topology_gadget() -> Scenario {
     topo.add_link(r(1), r(5), 5); // RR1 - C2  (prefers next cluster)
     topo.add_link(r(2), r(6), 5); // RR2 - C3
     topo.add_link(r(3), r(4), 5); // RR3 - C1
-    Scenario {
-        name: "topology-gadget",
+    Scenario::gadget(
+        "topology-gadget",
         topo,
-        routers: vec![r(4), r(5), r(6)],
-        rrs: vec![r(1), r(2), r(3)],
-        clusters: vec![
+        vec![r(4), r(5), r(6)],
+        vec![r(1), r(2), r(3)],
+        vec![
             ClusterSpec {
                 id: 1,
                 trrs: vec![r(1)],
@@ -209,13 +310,13 @@ pub fn topology_gadget() -> Scenario {
         ],
         // Three distinct ASes, equal path length, no MEDs: ties survive
         // to IGP (step 6), where the cyclic preference bites.
-        feeds: vec![
+        vec![
             (r(4), ebgp_feed(prefix, 101, 9101, 0)),
             (r(5), ebgp_feed(prefix, 102, 9102, 0)),
             (r(6), ebgp_feed(prefix, 103, 9103, 0)),
         ],
-        prefixes: vec![prefix],
-    }
+        vec![prefix],
+    )
 }
 
 /// A small well-behaved reference network (no gadget): 3 PoPs × 3
@@ -233,19 +334,19 @@ pub fn small_reference() -> Scenario {
         (routers[5], ebgp_feed(p1, 3356, 9002, 0)),
         (routers[8], ebgp_feed(p2, 7018, 9003, 0)),
     ];
-    Scenario {
-        name: "small-reference",
-        topo: view.topo,
+    Scenario::gadget(
+        "small-reference",
+        view.topo,
         routers,
-        rrs: rrs.clone(),
-        clusters: vec![ClusterSpec {
+        rrs.clone(),
+        vec![ClusterSpec {
             id: 1,
             trrs: rrs,
             clients,
         }],
         feeds,
-        prefixes: vec![p1, p2],
-    }
+        vec![p1, p2],
+    )
 }
 
 #[cfg(test)]

@@ -155,16 +155,23 @@ impl<P: Protocol> Sim<P> {
             for _ in 0..threads {
                 let res_tx = res_tx.clone();
                 let task_rx = &task_rx;
-                s.spawn(move || loop {
-                    let msg = task_rx.lock().expect("task queue poisoned").recv();
-                    match msg {
-                        Ok((now, task)) => {
-                            if res_tx.send(execute_task(now, task)).is_err() {
-                                break;
+                s.spawn(move || {
+                    loop {
+                        let msg = task_rx.lock().expect("task queue poisoned").recv();
+                        match msg {
+                            Ok((now, task)) => {
+                                if res_tx.send(execute_task(now, task)).is_err() {
+                                    break;
+                                }
                             }
+                            Err(_) => break,
                         }
-                        Err(_) => break,
                     }
+                    // Flush buffered trace events inside the closure:
+                    // the thread-local drop-flush can run after the
+                    // scope join observes this worker as finished,
+                    // which would race a drain on the main thread.
+                    obs::trace::flush_local();
                 });
             }
             let outcome = self.run_epochs(threads, limits, &mut |now, tasks| {

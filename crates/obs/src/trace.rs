@@ -170,9 +170,15 @@ fn sink() -> &'static Mutex<Vec<TraceEvent>> {
     SINK.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-/// Thread-local event buffer that flushes into the sink on drop
-/// (thread exit) — scoped worker threads join before the engine
-/// returns, so their events are in the sink by drain time.
+/// Thread-local event buffer that flushes into the sink when it fills
+/// ([`FLUSH_AT`]), on [`flush_local`], and on drop as a last resort.
+///
+/// The drop flush alone is NOT enough for worker threads: thread-local
+/// destructors may run *after* the point where `thread::scope` observes
+/// the thread as finished, so an engine that drains right after joining
+/// its workers can race the destructor and miss the tail of the trace.
+/// Engines must have each worker call [`flush_local`] before its
+/// closure returns.
 struct LocalBuf {
     events: RefCell<Vec<TraceEvent>>,
 }
@@ -362,6 +368,16 @@ fn render(ev: &TraceEvent, out: &mut String) {
     }
     out.push('}');
     out.push('\n');
+}
+
+/// Flushes the calling thread's buffered events into the shared sink.
+///
+/// Worker threads MUST call this before their closure returns: the
+/// drop-flush of the thread-local buffer can run after `thread::scope`
+/// has already observed the thread as finished, so a drain performed
+/// right after the join would silently miss the worker's tail events.
+pub fn flush_local() {
+    LOCAL.with(|l| l.flush());
 }
 
 /// Flushes the calling thread, drains the sink, sorts by the

@@ -1,0 +1,360 @@
+//! The oracle stack: runs a loaded scenario's checks and reports
+//! verdicts.
+//!
+//! Each [`Check`] runs its mode once and applies
+//! the requested oracles:
+//!
+//! * **quiesces** — the run reached quiescence inside the budget (a
+//!   `false` expectation asserts a genuine oscillation).
+//! * **no_loops** — `abrr::audit::count_loops` finds nothing.
+//! * **no_blackholes** — every *live* router delivers every *live*
+//!   prefix (a feed withdrawn by the workload, or originated at a
+//!   router left down by the fault schedule, is not live).
+//! * **matches_full_mesh** — exits equal a fault-free full-mesh twin's
+//!   (equal-IGP-cost exits count as equal). Faults are excluded from
+//!   the twin, so this asserts *post-recovery* equivalence: every
+//!   fault a scenario injects must be survivable for this oracle to
+//!   hold.
+//! * **engines_agree** — the sequential engine and the deterministic
+//!   parallel engine (2 workers) produce identical outcomes, identical
+//!   selections, and byte-identical obs traces.
+//! * **exits** — pinned (router, prefix) → exit expectations.
+
+use crate::compile::{Loaded, RunReport};
+use crate::schema::{Check, ModeSpec, Verdict};
+use abrr::audit;
+use bgp_types::{Ipv4Prefix, RouterId};
+use std::sync::Mutex;
+
+/// One failed oracle.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// The mode the check ran under.
+    pub mode: ModeSpec,
+    /// The oracle that failed (`quiesces`, `no_loops`, ...).
+    pub oracle: String,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}/{}] {}", self.mode.keyword(), self.oracle, self.msg)
+    }
+}
+
+/// The outcome of running every check of a scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Whether the file declares `expect_verdict: fail`.
+    pub expect_fail: bool,
+    /// Number of checks run.
+    pub checks_run: usize,
+    /// Every oracle failure (empty = all green).
+    pub failures: Vec<CheckFailure>,
+}
+
+impl ScenarioReport {
+    /// All oracles green.
+    pub fn all_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The scenario verdict, honoring `expect_verdict`: an xfail
+    /// scenario *passes* exactly when the oracle stack catches it.
+    pub fn verdict_ok(&self) -> bool {
+        if self.expect_fail {
+            !self.failures.is_empty()
+        } else {
+            self.failures.is_empty()
+        }
+    }
+}
+
+/// Serializes access to the global obs trace state (the engine
+/// equivalence oracle toggles tracing process-wide).
+static OBS_GUARD: Mutex<()> = Mutex::new(());
+
+/// Runs every check of a loaded scenario. `threads` selects the engine
+/// for the primary runs (0 = sequential); the engine-equivalence
+/// oracle always compares sequential vs parallel regardless.
+pub fn run_checks(loaded: &Loaded, threads: usize) -> ScenarioReport {
+    let mut report = ScenarioReport {
+        name: loaded.name().to_string(),
+        expect_fail: loaded.file().expect_verdict == Verdict::Fail,
+        checks_run: 0,
+        failures: Vec::new(),
+    };
+    let checks = loaded.file().checks.clone();
+    for check in &checks {
+        report.checks_run += 1;
+        run_one(loaded, check, threads, &mut report);
+    }
+    report
+}
+
+fn fail(report: &mut ScenarioReport, mode: ModeSpec, oracle: &str, msg: impl Into<String>) {
+    report.failures.push(CheckFailure {
+        mode,
+        oracle: oracle.to_string(),
+        msg: msg.into(),
+    });
+}
+
+fn run_one(loaded: &Loaded, check: &Check, threads: usize, report: &mut ScenarioReport) {
+    let mode = check.mode;
+    let run = match loaded.run(mode, threads, true) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(report, mode, "run", e);
+            return;
+        }
+    };
+
+    if let Some(expected) = check.quiesces {
+        if run.outcome.quiesced != expected {
+            fail(
+                report,
+                mode,
+                "quiesces",
+                if expected {
+                    format!(
+                        "did not quiesce within {} events (t={}µs)",
+                        run.outcome.events, run.outcome.end_time
+                    )
+                } else {
+                    format!(
+                        "expected an oscillation but the run quiesced after {} events",
+                        run.outcome.events
+                    )
+                },
+            );
+        }
+    }
+
+    // The state auditors only make sense on a settled network.
+    let settled = run.outcome.quiesced;
+    let live_routers = live_routers(loaded, &run);
+    let live_prefixes = live_prefixes(loaded, &run);
+
+    if check.no_loops {
+        if settled {
+            let loops = audit::count_loops(&run.sim, &run.spec, &live_prefixes);
+            if loops != 0 {
+                fail(
+                    report,
+                    mode,
+                    "no_loops",
+                    format!(
+                        "{loops} forwarding loop(s) across {} prefixes",
+                        live_prefixes.len()
+                    ),
+                );
+            }
+        } else {
+            fail(
+                report,
+                mode,
+                "no_loops",
+                "run did not quiesce; loop audit skipped",
+            );
+        }
+    }
+
+    if check.no_blackholes {
+        if settled {
+            let mut holes = Vec::new();
+            for p in &live_prefixes {
+                for r in &live_routers {
+                    if let audit::ForwardingOutcome::Blackhole { at } =
+                        audit::forwarding_path(&run.sim, &run.spec, *r, p)
+                    {
+                        holes.push(format!("{r:?}->{p} dies at {at:?}"));
+                    }
+                }
+            }
+            if !holes.is_empty() {
+                let shown = holes.iter().take(4).cloned().collect::<Vec<_>>().join("; ");
+                fail(
+                    report,
+                    mode,
+                    "no_blackholes",
+                    format!("{} blackhole(s): {shown}", holes.len()),
+                );
+            }
+        } else {
+            fail(
+                report,
+                mode,
+                "no_blackholes",
+                "run did not quiesce; blackhole audit skipped",
+            );
+        }
+    }
+
+    if check.matches_full_mesh {
+        match loaded.run(ModeSpec::FullMesh, threads, false) {
+            Err(e) => fail(report, mode, "matches_full_mesh", e),
+            Ok(mesh) => {
+                if !settled || !mesh.outcome.quiesced {
+                    fail(
+                        report,
+                        mode,
+                        "matches_full_mesh",
+                        "run or full-mesh twin did not quiesce",
+                    );
+                } else {
+                    let rep = audit::compare_exits(
+                        &run.sim,
+                        &run.spec,
+                        &mesh.sim,
+                        &live_routers,
+                        &live_prefixes,
+                    );
+                    if !rep.is_efficient() {
+                        let shown = rep
+                            .mismatches
+                            .iter()
+                            .take(4)
+                            .map(|m| {
+                                format!(
+                                    "{:?}/{}: {:?} vs {:?}",
+                                    m.router, m.prefix, m.got, m.expected
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        fail(
+                            report,
+                            mode,
+                            "matches_full_mesh",
+                            format!(
+                                "{}/{} exits differ from the fault-free full-mesh twin: {shown}",
+                                rep.mismatches.len(),
+                                rep.compared
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if check.engines_agree {
+        if let Err(msg) = engines_agree(loaded, mode, &live_routers, &live_prefixes) {
+            fail(report, mode, "engines_agree", msg);
+        }
+    }
+
+    for x in &check.exits {
+        let prefix: Ipv4Prefix = match x.prefix.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                fail(
+                    report,
+                    mode,
+                    "exits",
+                    format!("bad prefix {}: {e}", x.prefix),
+                );
+                continue;
+            }
+        };
+        let got = run
+            .sim
+            .node(RouterId(x.router))
+            .selected(&prefix)
+            .map(|s| s.exit_router());
+        let expected = x.exit.map(RouterId);
+        if got != expected {
+            fail(
+                report,
+                mode,
+                "exits",
+                format!(
+                    "router {} exits {} via {:?}, expected {:?}",
+                    x.router, x.prefix, got, expected
+                ),
+            );
+        }
+    }
+}
+
+/// Data-plane routers still up at the end of the run.
+fn live_routers(loaded: &Loaded, run: &RunReport) -> Vec<RouterId> {
+    loaded
+        .routers()
+        .into_iter()
+        .filter(|r| run.sim.is_node_up(*r))
+        .collect()
+}
+
+/// Prefixes with at least one live origin: fed by the workload, not
+/// withdrawn later, and whose feeding router is still up.
+fn live_prefixes(loaded: &Loaded, run: &RunReport) -> Vec<Ipv4Prefix> {
+    match loaded {
+        Loaded::Tier1(_) => loaded.prefixes(),
+        Loaded::Gadget(g) => {
+            let w = &g.file.workload;
+            loaded
+                .prefixes()
+                .into_iter()
+                .filter(|p| {
+                    w.feeds.iter().any(|f| {
+                        f.prefix.parse::<Ipv4Prefix>().ok().as_ref() == Some(p)
+                            && run.sim.is_node_up(RouterId(f.router))
+                            && !w.withdraws.iter().any(|wd| {
+                                wd.router == f.router
+                                    && wd.peer_addr == f.peer_addr
+                                    && wd.prefix == f.prefix
+                                    && wd.at > f.at
+                            })
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// The cross-engine oracle: sequential vs parallel(2) must agree on
+/// outcome, selections, and byte-identical obs traces (DESIGN.md §10).
+fn engines_agree(
+    loaded: &Loaded,
+    mode: ModeSpec,
+    routers: &[RouterId],
+    prefixes: &[Ipv4Prefix],
+) -> Result<(), String> {
+    let _guard = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let run_traced = |threads: usize| -> Result<(RunReport, String), String> {
+        obs::trace::reset();
+        obs::trace::set_spec("trace");
+        let run = loaded.run(mode, threads, true);
+        let trace = obs::trace::drain_jsonl();
+        obs::trace::reset();
+        run.map(|r| (r, trace))
+    };
+    let (seq, seq_trace) = run_traced(0)?;
+    let (par, par_trace) = run_traced(2)?;
+    if seq.outcome != par.outcome {
+        return Err(format!(
+            "outcomes diverge: sequential {:?} vs parallel {:?}",
+            seq.outcome, par.outcome
+        ));
+    }
+    if !audit::selections_equal(&seq.sim, &par.sim, routers, prefixes) {
+        return Err("selections diverge between sequential and parallel engines".to_string());
+    }
+    if seq_trace != par_trace {
+        let lines_a = seq_trace.lines().count();
+        let lines_b = par_trace.lines().count();
+        let first_diff = seq_trace
+            .lines()
+            .zip(par_trace.lines())
+            .position(|(a, b)| a != b);
+        return Err(format!(
+            "obs traces diverge ({lines_a} vs {lines_b} events, first difference at line {first_diff:?})"
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Fixed-seed fuzzer smoke: every generated scenario must pass the
+//! full oracle stack (the generator only emits recovery-guaranteed
+//! fault schedules, so ABRR has no excuse). One `#[test]` because the
+//! cross-engine oracle captures the global obs trace stream.
+
+use scenario::fuzz;
+
+#[test]
+fn fixed_seed_sweep_is_green() {
+    let outcome = fuzz(0xAB88_2011, 10, None, 0, |_seed, _report| {});
+    assert_eq!(outcome.cases, 10);
+    assert!(outcome.checks_run >= 10);
+    assert!(
+        outcome.all_green(),
+        "fuzzer found failures: {:#?}",
+        outcome
+            .failures
+            .iter()
+            .map(|f| (f.seed, &f.report.failures))
+            .collect::<Vec<_>>()
+    );
+}

@@ -5,32 +5,46 @@
 //! loop-free state), then does the same for the topology-based
 //! oscillation gadget.
 //!
+//! Both gadgets are loaded from the scenario corpus — the same
+//! declarative files `cargo run -p abrr-bench --bin scenario` checks in
+//! CI — rather than hand-built topologies, so this example and the
+//! corpus verdicts can never drift apart.
+//!
 //! Run with: `cargo run --example med_oscillation`
 
-use abrr::prelude::*;
-use abrr::scenarios::{self, Scenario};
+use abrr::audit;
+use scenario::schema::ModeSpec;
+use scenario::Loaded;
+use std::path::Path;
 
-const BUDGET: u64 = 50_000;
+fn load(stem: &str) -> Loaded {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios")
+        .join(format!("{stem}.json"));
+    scenario::load_path(&path)
+        .unwrap_or_else(|e| panic!("{} failed to load: {e:?}", path.display()))
+}
 
-fn show(s: &Scenario) {
-    println!("\n=== scenario: {} ===", s.name);
+fn show(loaded: &Loaded) {
+    println!("\n=== scenario: {} ===", loaded.file().name);
+    let routers = loaded.routers();
+    let prefixes = loaded.prefixes();
     for mode in [
-        Mode::Tbrr { multipath: false },
-        Mode::Tbrr { multipath: true },
-        Mode::Abrr,
-        Mode::FullMesh,
+        ModeSpec::Tbrr,
+        ModeSpec::TbrrMultipath,
+        ModeSpec::Abrr,
+        ModeSpec::FullMesh,
     ] {
-        let (sim, out) = s.run(mode.clone(), BUDGET);
-        if out.quiesced {
-            let spec = s.spec(mode.clone());
-            let loops = audit::count_loops(&sim, &spec, &s.prefixes);
-            let exits: Vec<String> = s
-                .routers
+        let run = loaded.run(mode, 0, true).expect("scenario runs");
+        if run.outcome.quiesced {
+            let loops = audit::count_loops(&run.sim, &run.spec, &prefixes);
+            let exits: Vec<String> = routers
                 .iter()
                 .map(|r| {
-                    let e = sim
+                    let e = run
+                        .sim
                         .node(*r)
-                        .selected(&s.prefixes[0])
+                        .selected(&prefixes[0])
                         .map(|x| x.exit_router());
                     format!(
                         "{r:?}->{}",
@@ -41,14 +55,14 @@ fn show(s: &Scenario) {
             println!(
                 "{:<24} CONVERGES in {:>6} events; loops={loops}; exits: {}",
                 format!("{mode:?}"),
-                out.events,
+                run.outcome.events,
                 exits.join(" ")
             );
         } else {
             println!(
                 "{:<24} OSCILLATES — still churning after {} events",
                 format!("{mode:?}"),
-                out.events
+                run.outcome.events
             );
         }
     }
@@ -57,22 +71,34 @@ fn show(s: &Scenario) {
 fn main() {
     println!("Single-path TBRR suffers MED-based and topology-based oscillations;");
     println!("ABRR (and full-mesh, which it emulates) does not. Paper §2.3.");
-    show(&scenarios::med_gadget());
-    show(&scenarios::topology_gadget());
+    let gadgets = [load("med_gadget"), load("topology_gadget")];
+    for g in &gadgets {
+        show(g);
+    }
 
     // Check ABRR == full-mesh exits on both gadgets.
-    for s in [scenarios::med_gadget(), scenarios::topology_gadget()] {
-        let (ab, o1) = s.run(Mode::Abrr, BUDGET);
-        let (fm, o2) = s.run(Mode::FullMesh, BUDGET);
-        assert!(o1.quiesced && o2.quiesced);
-        let spec = s.spec(Mode::Abrr);
-        let rep = audit::compare_exits(&ab, &spec, &fm, &s.routers, &s.prefixes);
+    for g in &gadgets {
+        let ab = g.run(ModeSpec::Abrr, 0, true).expect("abrr runs");
+        let fm = g.run(ModeSpec::FullMesh, 0, true).expect("full mesh runs");
+        assert!(ab.outcome.quiesced && fm.outcome.quiesced);
+        let rep = audit::compare_exits(&ab.sim, &ab.spec, &fm.sim, &g.routers(), &g.prefixes());
         println!(
             "\n{}: ABRR matches full-mesh on {}/{} (router, prefix) pairs",
-            s.name,
+            g.file().name,
             rep.compared - rep.mismatches.len(),
             rep.compared
         );
         assert!(rep.is_efficient());
+    }
+
+    // And the corpus verdicts themselves — the declared `checks` of
+    // each file, the same thing CI's scenario stage runs.
+    for g in &gadgets {
+        let report = scenario::run_checks(g, 0);
+        assert!(report.all_green(), "corpus checks failed: {report:?}");
+        println!(
+            "{}: all {} declared corpus checks green",
+            report.name, report.checks_run
+        );
     }
 }

@@ -4,30 +4,37 @@
 //! workload), rank the prefixes it is fighting over, then show that the
 //! very same prefixes are quiet under ABRR.
 //!
+//! The network comes from `examples/scenarios/oscillation_hunt.json` —
+//! the corpus file whose CI verdict pins "TBRR still churning at budget
+//! exhaustion". This example is the long-form investigation of the same
+//! scenario: a 5-simulated-minute hunt plus the per-prefix suspect
+//! ranking, instead of the corpus stage's quick 30-second verdict.
+//!
 //! Run with: `cargo run --release --example oscillation_hunt`
 
 use abrr::audit;
+use scenario::schema::ModeSpec;
+use scenario::Loaded;
+use std::path::Path;
 use std::sync::Arc;
-use workload::specs::{self, SpecOptions};
-use workload::{churn, regen, Tier1Config, Tier1Model};
+use workload::{churn, regen};
 
 fn main() {
-    let cfg = Tier1Config {
-        n_prefixes: 600,
-        ..Tier1Config::default()
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios/oscillation_hunt.json");
+    let loaded = scenario::load_path(&path)
+        .unwrap_or_else(|e| panic!("{} failed to load: {e:?}", path.display()));
+    let Loaded::Tier1(t1) = &loaded else {
+        panic!("oscillation_hunt.json must be a tier1 scenario");
     };
-    let model = Tier1Model::generate(cfg.clone());
+    let model = t1.model.clone();
     println!(
         "model: {} routers / {} PoPs, {} prefixes (seed {})",
         model.routers.len(),
         model.view.pops.len(),
         model.prefixes.len(),
-        cfg.seed
+        t1.params.seed
     );
-    let opts = SpecOptions {
-        mrai_us: 1_000_000,
-        ..Default::default()
-    };
 
     let run = |name: &str, spec: Arc<abrr::NetworkSpec>| -> netsim::Sim<abrr::BgpNode> {
         let mut sim = abrr::build_sim(spec);
@@ -50,8 +57,8 @@ fn main() {
     };
 
     let tbrr = run(
-        "TBRR (13 clusters, single-path)",
-        Arc::new(specs::tbrr_spec(&model, 2, false, &opts)),
+        &format!("TBRR ({} clusters, single-path)", model.view.pops.len()),
+        Arc::new(loaded.spec(ModeSpec::Tbrr)),
     );
     println!("top oscillation suspects under TBRR:");
     let suspects = audit::oscillation_suspects(&tbrr, 5);
@@ -65,8 +72,11 @@ fn main() {
     }
 
     let ab = run(
-        "ABRR (13 APs, 2 ARRs each)",
-        Arc::new(specs::abrr_spec(&model, 13, 2, &opts)),
+        &format!(
+            "ABRR ({} APs, {} ARRs each)",
+            t1.params.aps, t1.params.arrs_per_ap
+        ),
+        Arc::new(loaded.spec(ModeSpec::Abrr)),
     );
     println!("the same prefixes under ABRR:");
     for s in &suspects {

@@ -41,4 +41,14 @@ cargo build --release -p abrr-bench --bin scale
 ./target/release/scale --workload churn --threads 2 --prefixes 200 --minutes 1
 ./target/release/scale --workload failover --threads 2 --prefixes 200 --minutes 1
 
+echo "== scenario corpus + fixed-seed fuzz smoke"
+# Runs every gadget in examples/scenarios/ against its declared oracle
+# checks (xfail gadgets must be *caught*), then 25 generated scenarios
+# through the full oracle stack on both engines. Fixed seed: a failure
+# here is a regression in the generator, the engines, or the auditors —
+# never flake. Non-zero exit on any bad verdict.
+cargo build --release -p abrr-bench --bin scenario
+./target/release/scenario --dir examples/scenarios --fuzz 25 --seed 2011 \
+  --shrink-dir results/shrunk --overlays results/table_overlays.txt
+
 echo "CI OK"
