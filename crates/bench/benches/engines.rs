@@ -59,6 +59,44 @@ fn bench_snapshot_convergence(c: &mut Criterion) {
     g.finish();
 }
 
+fn converge_engine(spec: Arc<abrr::NetworkSpec>, m: &Tier1Model, engine: netsim::Engine) -> u64 {
+    let mut sim = abrr::build_sim(spec);
+    regen::replay(&mut sim, &churn::initial_snapshot(m), 1_000);
+    let out = sim.run_engine(
+        engine,
+        netsim::RunLimits {
+            max_events: u64::MAX,
+            max_time: 60_000_000,
+        },
+    );
+    out.events
+}
+
+fn bench_engines(c: &mut Criterion) {
+    use netsim::Engine;
+    let m = model();
+    let opts = SpecOptions {
+        mrai_us: 1_000_000,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // Same ABRR snapshot load under every engine: all three produce
+    // byte-identical results, so the delta is pure scheduling overhead
+    // (epoch barriers vs sharded windows vs the sequential loop).
+    for (name, engine) in [
+        ("seq", Engine::Seq),
+        ("epoch2", Engine::Epoch(2)),
+        ("sharded2", Engine::Sharded(2)),
+    ] {
+        g.bench_function(name, |b| {
+            let spec = Arc::new(specs::abrr_spec(&m, 8, 2, &opts));
+            b.iter(|| black_box(converge_engine(spec.clone(), &m, engine)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_ablations(c: &mut Criterion) {
     let m = model();
     let mut g = c.benchmark_group("ablation");
@@ -83,5 +121,10 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_snapshot_convergence, bench_ablations);
+criterion_group!(
+    benches,
+    bench_snapshot_convergence,
+    bench_engines,
+    bench_ablations
+);
 criterion_main!(benches);

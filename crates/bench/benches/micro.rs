@@ -2,7 +2,9 @@
 //! process, wire codec, SPF, MRAI pacing, attribute interning, and the
 //! hash-backed RIB tables.
 
-use bgp_rib::{best_as_level, best_path, AdjRibIn, Candidate, DecisionConfig, LocRib};
+use bgp_rib::{
+    best_as_level, best_path, AdjRibIn, Candidate, CandidateBatch, DecisionConfig, LocRib,
+};
 use bgp_types::{
     intern, AsPath, Asn, Ipv4Prefix, Med, NextHop, PathAttributes, PrefixTrie, RouteSource,
     RouterId,
@@ -83,6 +85,17 @@ fn bench_decision(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("best_as_level", n), &cands, |b, cands| {
             b.iter(|| black_box(best_as_level(cands, &cfg)))
+        });
+        // The SoA survivor scan an ARR runs per managed-route change:
+        // load the decision-key columns once, scan contiguous memory.
+        // Compare against `best_as_level` above, which chases an
+        // `Arc<PathAttributes>` per comparison.
+        g.bench_with_input(BenchmarkId::new("soa_batch_scan", n), &cands, |b, cands| {
+            let mut batch = CandidateBatch::new();
+            b.iter(|| {
+                batch.load(cands);
+                black_box(batch.survivors(&cfg).len())
+            })
         });
     }
     g.finish();

@@ -7,13 +7,14 @@
 use abrr::prelude::*;
 use abrr::scenarios::{self, Scenario};
 use abrr_bench::{header, Args, Experiment, FlagSpec};
+use netsim::Engine;
 
 const FLAGS: &[FlagSpec] = &[];
 
 const OSC_BUDGET: u64 = 100_000;
 
-fn verdict(s: &Scenario, mode: Mode, threads: usize) -> String {
-    let (sim, out) = s.run_threaded(mode.clone(), OSC_BUDGET, threads);
+fn verdict(s: &Scenario, mode: Mode, engine: Engine) -> String {
+    let (sim, out) = s.run_engine(mode.clone(), OSC_BUDGET, engine);
     if !out.quiesced {
         return format!("OSCILLATES (>{} events)", out.events);
     }
@@ -28,7 +29,7 @@ fn verdict(s: &Scenario, mode: Mode, threads: usize) -> String {
 fn main() {
     let args = Args::parse("correctness", FLAGS);
     let _obs = Experiment::from_args(&args);
-    let threads = args.threads();
+    let engine = args.engine();
     header(
         "§2.3 — oscillation / loop / efficiency audit",
         "gadgets: RFC3345-style MED oscillation; cyclic-IGP topology oscillation",
@@ -44,12 +45,12 @@ fn main() {
             println!(
                 "  {:<22} {}",
                 format!("{mode:?}"),
-                verdict(&s, mode, threads)
+                verdict(&s, mode, engine)
             );
         }
         // Path-efficiency audit for ABRR vs full mesh.
-        let (ab, o1) = s.run_threaded(Mode::Abrr, OSC_BUDGET, threads);
-        let (mesh, o2) = s.run_threaded(Mode::FullMesh, OSC_BUDGET, threads);
+        let (ab, o1) = s.run_engine(Mode::Abrr, OSC_BUDGET, engine);
+        let (mesh, o2) = s.run_engine(Mode::FullMesh, OSC_BUDGET, engine);
         if o1.quiesced && o2.quiesced {
             let spec = s.spec(Mode::Abrr);
             let report = audit::compare_exits(&ab, &spec, &mesh, &s.routers, &s.prefixes);

@@ -1,24 +1,25 @@
 //! Scaling harness: wall-clock, peak RSS, and event throughput for the
 //! two heaviest workloads (fig7-style churn and resilience-style ARR
-//! failover), under either engine. Emits one JSON object per run —
+//! failover), under any engine. Emits one JSON object per run —
 //! printed to stdout and appended to `--out FILE` when given — so
 //! `scripts/bench.sh` can collect a `BENCH_<date>.json` comparing the
-//! sequential engine, the parallel engine at several thread counts, and
-//! a pre-optimization baseline build.
+//! sequential, epoch-parallel, and AP-sharded engines at several
+//! worker counts, and a pre-optimization baseline build.
 //!
 //! Peak RSS is read from `VmHWM` in `/proc/self/status` (Linux-only;
 //! reported as 0 elsewhere), so each invocation measures exactly one
 //! workload — run the bin once per configuration.
 //!
 //! Run: `cargo run --release -p abrr-bench --bin scale --
-//!       [--workload churn|failover] [--threads N] [--prefixes N]
-//!       [--minutes M] [--rate EPS] [--seed S] [--aps N]
-//!       [--label L] [--out FILE]`
+//!       [--workload churn|failover] [--engine seq|epoch|sharded]
+//!       [--threads N] [--prefixes N] [--minutes M] [--rate EPS]
+//!       [--seed S] [--aps N] [--label L] [--out FILE]`
 
 use abrr::prelude::*;
 use abrr_bench::pipeline::JsonRow;
-use abrr_bench::{flag, run_sim, Args, Experiment, FlagSpec, SETTLE_BUDGET_US};
+use abrr_bench::{flag, run_sim_engine, Args, Experiment, FlagSpec, SETTLE_BUDGET_US};
 use faults::{compile, FaultKind, FaultSchedule};
+use netsim::Engine;
 use std::sync::Arc;
 use std::time::Instant;
 use workload::specs::{self, SpecOptions};
@@ -79,7 +80,7 @@ fn churn_workload(
     n_aps: usize,
     minutes: u64,
     rate: f64,
-    threads: usize,
+    engine: Engine,
 ) -> Measured {
     let opts = SpecOptions {
         mrai_us: 1_000_000,
@@ -92,7 +93,7 @@ fn churn_workload(
         max_events: u64::MAX,
         max_time: SETTLE_BUDGET_US,
     };
-    let out1 = run_sim(&mut sim, settle, threads);
+    let out1 = run_sim_engine(&mut sim, settle, engine);
     let cfg = ChurnConfig {
         duration_us: minutes * 60_000_000,
         events_per_sec: rate,
@@ -100,13 +101,13 @@ fn churn_workload(
     };
     let deadline = sim.now() + cfg.duration_us + SETTLE_BUDGET_US;
     regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
-    let out2 = run_sim(
+    let out2 = run_sim_engine(
         &mut sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: deadline,
         },
-        threads,
+        engine,
     );
     Measured {
         events: out1.events + out2.events,
@@ -125,7 +126,7 @@ fn failover_workload(
     minutes: u64,
     rate: f64,
     seed: u64,
-    threads: usize,
+    engine: Engine,
 ) -> Measured {
     let opts = SpecOptions {
         mrai_us: 0,
@@ -138,7 +139,7 @@ fn failover_workload(
         max_events: u64::MAX,
         max_time: SETTLE_BUDGET_US,
     };
-    let out1 = run_sim(&mut sim, settle, threads);
+    let out1 = run_sim_engine(&mut sim, settle, engine);
     let cfg = ChurnConfig {
         seed,
         duration_us: minutes * 60_000_000,
@@ -155,13 +156,13 @@ fn failover_workload(
         },
     );
     compile(&sched, &spec, &mut sim).expect("schedule compiles");
-    let out2 = run_sim(
+    let out2 = run_sim_engine(
         &mut sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: t0 + cfg.duration_us + SETTLE_BUDGET_US,
         },
-        threads,
+        engine,
     );
     Measured {
         events: out1.events + out2.events,
@@ -175,7 +176,7 @@ fn main() {
     let args = Args::parse("scale", FLAGS);
     let _obs = Experiment::from_args(&args);
     let workload = args.map_get("workload").unwrap_or("churn").to_string();
-    let threads = args.threads();
+    let engine = args.engine();
     let seed: u64 = args.get("seed", Tier1Config::default().seed);
     let n_aps: usize = args.get("aps", 8);
     let minutes: u64 = args.get("minutes", 5);
@@ -191,8 +192,8 @@ fn main() {
 
     let t = Instant::now();
     let m = match workload.as_str() {
-        "failover" => failover_workload(&model, n_aps, minutes, rate, seed, threads),
-        "churn" => churn_workload(&model, n_aps, minutes, rate, threads),
+        "failover" => failover_workload(&model, n_aps, minutes, rate, seed, engine),
+        "churn" => churn_workload(&model, n_aps, minutes, rate, engine),
         other => panic!("unknown --workload {other} (expected churn|failover)"),
     };
     let wall = t.elapsed();
@@ -203,7 +204,15 @@ fn main() {
     JsonRow::new()
         .str("workload", &workload)
         .str("label", &label)
-        .usize("threads", threads)
+        .str("engine", engine.name())
+        .usize("threads", engine.workers())
+        .usize(
+            "shards",
+            match engine {
+                Engine::Sharded(n) => n,
+                _ => 0,
+            },
+        )
         .usize("prefixes", n_prefixes)
         .usize("aps", n_aps)
         .u64("minutes", minutes)

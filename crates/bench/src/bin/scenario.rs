@@ -25,6 +25,7 @@
 
 use abrr_bench::pipeline::{col, lcol, t, u, Table};
 use abrr_bench::{flag, Args, Experiment, FlagSpec};
+use netsim::Engine;
 use scenario::schema::ModeSpec;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -57,7 +58,7 @@ fn sessions(spec: abrr::NetworkSpec) -> u64 {
     abrr::build_sim(Arc::new(spec)).num_sessions() as u64
 }
 
-fn corpus_stage(dir: &Path, threads: usize) -> bool {
+fn corpus_stage(dir: &Path, engine: Engine) -> bool {
     let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
         Ok(rd) => rd
             .filter_map(|e| e.ok())
@@ -96,7 +97,7 @@ fn corpus_stage(dir: &Path, threads: usize) -> bool {
                 continue;
             }
         };
-        let report = scenario::run_checks(&loaded, threads);
+        let report = scenario::run_checks(&loaded, engine);
         let verdict_ok = report.verdict_ok();
         ok &= verdict_ok;
         let verdict = match (verdict_ok, report.expect_fail) {
@@ -120,9 +121,9 @@ fn corpus_stage(dir: &Path, threads: usize) -> bool {
     ok
 }
 
-fn fuzz_stage(seed: u64, cases: usize, shrink_dir: &Path, threads: usize) -> bool {
+fn fuzz_stage(seed: u64, cases: usize, shrink_dir: &Path, engine: Engine) -> bool {
     println!("\n# fuzz: {cases} cases from seed {seed}");
-    let outcome = scenario::fuzz(seed, cases, Some(shrink_dir), threads, |s, rep| {
+    let outcome = scenario::fuzz(seed, cases, Some(shrink_dir), engine, |s, rep| {
         if !rep.all_green() {
             println!("  seed {s}: {} oracle failure(s)", rep.failures.len());
         }
@@ -248,7 +249,7 @@ fn main() {
     );
     let mut ok = true;
     if !args.flag("no-corpus") {
-        ok &= corpus_stage(&dir, exp.threads);
+        ok &= corpus_stage(&dir, exp.engine);
     }
     let cases: usize = args.get("fuzz", 0usize);
     if cases > 0 {
@@ -258,7 +259,7 @@ fn main() {
                 .unwrap_or("results/shrunk")
                 .to_string(),
         );
-        ok &= fuzz_stage(seed, cases, &shrink_dir, exp.threads);
+        ok &= fuzz_stage(seed, cases, &shrink_dir, exp.engine);
     }
     if let Some(path) = args.map_get("overlays") {
         if let Err(e) = overlays_stage(path, &dir) {

@@ -8,6 +8,7 @@
 //! default on both mistakes, so `--thread 4` ran sequentially without a
 //! word; that failure mode is gone.
 
+use netsim::Engine;
 use std::collections::BTreeMap;
 
 /// One declared `--name` flag of a binary.
@@ -32,7 +33,14 @@ const COMMON: &[FlagSpec] = &[
     flag(
         "threads",
         "N",
-        "engine: 0 = sequential (default), N >= 1 = deterministic parallel on N workers",
+        "worker count: 0 selects the sequential engine (default), N >= 1 the \
+         epoch-parallel engine on N workers (see --engine to pick explicitly)",
+    ),
+    flag(
+        "engine",
+        "NAME",
+        "engine override: seq | epoch | sharded (default: derived from --threads); \
+         epoch/sharded use --threads workers/shards (at least 1)",
     ),
     flag(
         "obs",
@@ -176,11 +184,37 @@ impl Args {
     }
 
     /// The `--threads` knob shared by every bench bin: `0` (default)
-    /// runs the sequential engine, `n >= 1` runs the deterministic
-    /// parallel engine on `n` workers (`1` = epoch engine inline —
-    /// useful for verifying the parallel path without concurrency).
+    /// selects the sequential engine, `n >= 1` the epoch-parallel
+    /// engine on `n` workers (`1` = epoch engine inline — useful for
+    /// verifying the parallel path without concurrency). `--engine`
+    /// overrides the engine *kind* while `--threads` still sets the
+    /// worker/shard count.
     pub fn threads(&self) -> usize {
         self.get("threads", 0usize)
+    }
+
+    /// The engine selected by `--engine`/`--threads` (shared by every
+    /// bench bin). Without `--engine` the historical `--threads`
+    /// convention applies; with it, `seq`/`epoch`/`sharded` force the
+    /// engine kind and `--threads` (clamped to >= 1 for the concurrent
+    /// engines) sets the worker/shard count. Unknown names exit 2.
+    pub fn engine(&self) -> Engine {
+        let threads = self.threads();
+        match self.map.get("engine").map(|s| s.as_str()) {
+            None => Engine::from_threads(threads),
+            Some("seq") => Engine::Seq,
+            Some("epoch") => Engine::Epoch(threads.max(1)),
+            Some("sharded") => Engine::Sharded(threads.max(1)),
+            Some(other) => {
+                eprintln!(
+                    "{}: invalid value `{other}` for `--engine` \
+                     (expected seq | epoch | sharded)\n\n{}",
+                    self.bin,
+                    self.usage()
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The `--obs` knob shared by every bench bin: turns on the
@@ -242,8 +276,44 @@ mod tests {
     fn usage_lists_every_flag() {
         let args = parse(&[]).unwrap();
         let u = args.usage();
-        for name in ["--prefixes <N>", "--balanced", "--threads <N>", "--help"] {
+        for name in [
+            "--prefixes <N>",
+            "--balanced",
+            "--threads <N>",
+            "--engine <NAME>",
+            "--help",
+        ] {
             assert!(u.contains(name), "usage missing {name}:\n{u}");
         }
+    }
+
+    #[test]
+    fn engine_resolves_from_threads_and_override() {
+        assert_eq!(parse(&[]).unwrap().engine(), Engine::Seq);
+        assert_eq!(
+            parse(&["--threads", "2"]).unwrap().engine(),
+            Engine::Epoch(2)
+        );
+        assert_eq!(
+            parse(&["--engine", "seq", "--threads", "8"])
+                .unwrap()
+                .engine(),
+            Engine::Seq
+        );
+        assert_eq!(
+            parse(&["--engine", "epoch"]).unwrap().engine(),
+            Engine::Epoch(1)
+        );
+        assert_eq!(
+            parse(&["--engine", "sharded", "--threads", "4"])
+                .unwrap()
+                .engine(),
+            Engine::Sharded(4)
+        );
+        // Sharded with the default --threads 0 still gets one shard.
+        assert_eq!(
+            parse(&["--engine", "sharded"]).unwrap().engine(),
+            Engine::Sharded(1)
+        );
     }
 }

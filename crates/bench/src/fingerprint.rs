@@ -15,11 +15,11 @@
 //! GOLDEN_BLESS=1 cargo test -p abrr-bench --test golden_regression
 //! ```
 
-use crate::{run_churn, run_sim, SETTLE_BUDGET_US};
+use crate::{run_churn, run_sim_engine, SETTLE_BUDGET_US};
 use abrr::{BgpNode, NetworkSpec};
 use bgp_types::RouterId;
 use faults::{compile, FaultKind, FaultSchedule};
-use netsim::{RunLimits, Sim};
+use netsim::{Engine, RunLimits, Sim};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use workload::specs::{self, SpecOptions};
@@ -97,79 +97,85 @@ fn golden_model() -> Tier1Model {
 }
 
 /// A named golden scenario: builds, runs, and fingerprints one
-/// configuration under the chosen engine (`threads` as in
-/// [`crate::run_sim`]).
+/// configuration under the chosen engine.
 pub struct GoldenScenario {
     /// Scenario (and golden file) name.
     pub name: &'static str,
-    run: fn(usize) -> String,
+    run: fn(Engine) -> String,
 }
 
 impl GoldenScenario {
-    /// Runs the scenario and returns its fingerprint text.
+    /// Runs the scenario under the engine selected by the historical
+    /// `threads` convention and returns its fingerprint text.
     pub fn run(&self, threads: usize) -> String {
-        (self.run)(threads)
+        self.run_engine(Engine::from_threads(threads))
+    }
+
+    /// Runs the scenario under `engine` and returns its fingerprint
+    /// text.
+    pub fn run_engine(&self, engine: Engine) -> String {
+        (self.run)(engine)
     }
 }
 
-fn converge(spec: &Arc<NetworkSpec>, model: &Tier1Model, threads: usize) -> Sim<BgpNode> {
+fn converge(spec: &Arc<NetworkSpec>, model: &Tier1Model, engine: Engine) -> Sim<BgpNode> {
     let mut sim = abrr::build_sim(spec.clone());
     regen::replay(&mut sim, &churn::initial_snapshot(model), 1_000);
-    run_sim(
+    run_sim_engine(
         &mut sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: SETTLE_BUDGET_US,
         },
-        threads,
+        engine,
     );
     sim
 }
 
-fn fig6_abrr(threads: usize) -> String {
+fn fig6_abrr(engine: Engine) -> String {
     let model = golden_model();
     let opts = SpecOptions {
         mrai_us: 1_000_000,
         ..Default::default()
     };
     let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
-    let sim = converge(&spec, &model, threads);
+    let sim = converge(&spec, &model, engine);
     fingerprint("fig6_abrr_4aps", &sim, &spec)
 }
 
-fn fig6_tbrr(threads: usize) -> String {
+fn fig6_tbrr(engine: Engine) -> String {
     let model = golden_model();
     let opts = SpecOptions {
         mrai_us: 1_000_000,
         ..Default::default()
     };
     let spec = Arc::new(specs::tbrr_spec(&model, 2, false, &opts));
-    let sim = converge(&spec, &model, threads);
+    let sim = converge(&spec, &model, engine);
     fingerprint("fig6_tbrr", &sim, &spec)
 }
 
-fn fig7_churn(threads: usize) -> String {
+fn fig7_churn(engine: Engine) -> String {
     let model = golden_model();
     let opts = SpecOptions {
         mrai_us: 1_000_000,
         ..Default::default()
     };
     let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
-    let mut sim = converge(&spec, &model, threads);
+    let mut sim = converge(&spec, &model, engine);
     let cfg = ChurnConfig {
         duration_us: 60_000_000,
         events_per_sec: 2.0,
         ..ChurnConfig::default()
     };
-    run_churn(&mut sim, &model, &cfg, 1, threads);
+    run_churn(&mut sim, &model, &cfg, 1, engine);
     fingerprint("fig7_churn_abrr", &sim, &spec)
 }
 
-fn resilience_arr_kill(threads: usize) -> String {
+fn resilience_arr_kill(engine: Engine) -> String {
     let model = golden_model();
     let opts = SpecOptions::default();
     let spec = Arc::new(specs::abrr_spec(&model, 4, 2, &opts));
-    let mut sim = converge(&spec, &model, threads);
+    let mut sim = converge(&spec, &model, engine);
     let mut sched = FaultSchedule::new(11);
     sched.push(
         sim.now() + 1_000_000,
@@ -179,13 +185,13 @@ fn resilience_arr_kill(threads: usize) -> String {
     );
     compile(&sched, &spec, &mut sim).expect("schedule compiles");
     let deadline = sim.now() + SETTLE_BUDGET_US;
-    run_sim(
+    run_sim_engine(
         &mut sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: deadline,
         },
-        threads,
+        engine,
     );
     fingerprint("resilience_arr_kill", &sim, &spec)
 }

@@ -15,7 +15,7 @@ pub use pipeline::{tier1_config, Experiment};
 
 use abrr::{BgpNode, NetworkSpec, UpdateCounters};
 use bgp_types::RouterId;
-use netsim::{RunLimits, RunOutcome, Sim, Time};
+use netsim::{Engine, RunLimits, RunOutcome, Sim, Time};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use workload::{churn, regen, ChurnConfig, Tier1Model};
@@ -27,15 +27,17 @@ use workload::{churn, regen, ChurnConfig, Tier1Model};
 /// testbed measured a running system, and report non-quiescence.
 pub const SETTLE_BUDGET_US: Time = 300_000_000;
 
-/// Runs `sim` under the engine selected by `threads` (see
-/// [`Args::threads`]). Both engines produce bit-identical results by
-/// construction; this helper exists so every bin exposes the same knob.
+/// Runs `sim` under `engine` (see [`Args::engine`]). All engines
+/// produce bit-identical results by construction; this helper exists so
+/// every bin exposes the same knobs.
+pub fn run_sim_engine(sim: &mut Sim<BgpNode>, limits: RunLimits, engine: Engine) -> RunOutcome {
+    sim.run_engine(engine, limits)
+}
+
+/// Runs `sim` under the engine selected by the historical `threads`
+/// convention (0 = sequential, N >= 1 = epoch-parallel).
 pub fn run_sim(sim: &mut Sim<BgpNode>, limits: RunLimits, threads: usize) -> RunOutcome {
-    if threads == 0 {
-        sim.run(limits)
-    } else {
-        sim.run_parallel(threads, limits)
-    }
+    run_sim_engine(sim, limits, Engine::from_threads(threads))
 }
 
 /// Aggregate over a fleet of RRs: min/avg/max of a per-node metric.
@@ -123,17 +125,17 @@ pub fn converge_snapshot(
     spec: Arc<NetworkSpec>,
     model: &Tier1Model,
     speedup: u64,
-    threads: usize,
+    engine: Engine,
 ) -> (Sim<BgpNode>, RunOutcome) {
     let mut sim = abrr::build_sim(spec);
     regen::replay(&mut sim, &churn::initial_snapshot(model), speedup);
-    let out = run_sim(
+    let out = run_sim_engine(
         &mut sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: SETTLE_BUDGET_US,
         },
-        threads,
+        engine,
     );
     (sim, out)
 }
@@ -145,18 +147,18 @@ pub fn run_churn(
     model: &Tier1Model,
     cfg: &ChurnConfig,
     speedup: u64,
-    threads: usize,
+    engine: Engine,
 ) -> RunOutcome {
     let trace = churn::generate(model, cfg);
     let deadline = sim.now() + cfg.duration_us / speedup.max(1) + SETTLE_BUDGET_US;
     regen::replay(sim, &trace, speedup);
-    run_sim(
+    run_sim_engine(
         sim,
         RunLimits {
             max_events: u64::MAX,
             max_time: deadline,
         },
-        threads,
+        engine,
     )
 }
 

@@ -11,8 +11,9 @@
 //!   ([`tier1_config`]) and a `NetworkSpec` per scheme variant;
 //! * **workload** — the initial RIB snapshot and optional churn/probe
 //!   traces ([`Experiment::converge`], [`Run::churn`]);
-//! * **engine** — sequential or deterministic-parallel, selected once
-//!   by `--threads` and threaded through every run of the binary;
+//! * **engine** — sequential, epoch-parallel, or AP-sharded, selected
+//!   once by `--engine`/`--threads` and threaded through every run of
+//!   the binary;
 //! * **auditors** — forwarding-loop and quiescence checks on the
 //!   converged state ([`Run::count_loops`], [`Run::require_quiesced`]);
 //! * **typed rows / emitters** — [`Table`] (fixed-width text) and
@@ -22,12 +23,12 @@
 //! knobs, which rows.
 
 use crate::{
-    converge_snapshot, counter_delta, fleet_stats, run_churn, run_sim, Args, FleetStats,
+    converge_snapshot, counter_delta, fleet_stats, run_churn, run_sim_engine, Args, FleetStats,
     SETTLE_BUDGET_US,
 };
 use abrr::{BgpNode, NetworkSpec, UpdateCounters};
 use bgp_types::{Ipv4Prefix, RouterId};
-use netsim::{RunLimits, RunOutcome, Sim, Time};
+use netsim::{Engine, RunLimits, RunOutcome, Sim, Time};
 use std::sync::Arc;
 use workload::{ChurnConfig, Tier1Config, Tier1Model};
 
@@ -53,11 +54,11 @@ pub fn tier1_config(args: &Args, base: Tier1Config) -> Tier1Config {
 }
 
 /// One experiment invocation: the header has been printed and the
-/// engine chosen. All runs spawned from it share the `--threads`
-/// setting.
+/// engine chosen. All runs spawned from it share the
+/// `--engine`/`--threads` setting.
 pub struct Experiment {
-    /// Worker count for [`crate::run_sim`] (0 = sequential engine).
-    pub threads: usize,
+    /// The engine every run of this invocation executes on.
+    pub engine: Engine,
     /// Whether `--obs` turned the observability layer on; the
     /// [`Drop`] impl then emits the [`obs_report`].
     obs: bool,
@@ -65,8 +66,8 @@ pub struct Experiment {
 
 impl Experiment {
     /// Prints the standard experiment header and fixes the engine
-    /// choice from `--threads`. With `--obs`, turns on the metrics
-    /// registry and engine profiling for the whole invocation.
+    /// choice from `--engine`/`--threads`. With `--obs`, turns on the
+    /// metrics registry and engine profiling for the whole invocation.
     pub fn start(args: &Args, title: &str, detail: &str) -> Experiment {
         crate::header(title, detail);
         Self::from_args(args)
@@ -81,7 +82,7 @@ impl Experiment {
             obs::profile::set_enabled(true);
         }
         Experiment {
-            threads: args.threads(),
+            engine: args.engine(),
             obs,
         }
     }
@@ -89,11 +90,11 @@ impl Experiment {
     /// Spec + workload + engine stages in one step: builds the sim for
     /// `spec`, replays the initial RIB snapshot, and settles it.
     pub fn converge(&self, spec: Arc<NetworkSpec>, model: &Tier1Model) -> Run {
-        let (sim, outcome) = converge_snapshot(spec, model, 1_000, self.threads);
+        let (sim, outcome) = converge_snapshot(spec, model, 1_000, self.engine);
         let run = Run {
             sim,
             outcome,
-            threads: self.threads,
+            engine: self.engine,
         };
         run.refresh_obs_gauges();
         run
@@ -148,7 +149,7 @@ pub struct Run {
     pub sim: Sim<BgpNode>,
     /// Outcome of the latest segment (converge/churn/advance).
     pub outcome: RunOutcome,
-    threads: usize,
+    engine: Engine,
 }
 
 impl Run {
@@ -169,7 +170,7 @@ impl Run {
 
     /// Workload stage: replays a churn trace and settles.
     pub fn churn(&mut self, model: &Tier1Model, cfg: &ChurnConfig) -> &RunOutcome {
-        self.outcome = run_churn(&mut self.sim, model, cfg, 1, self.threads);
+        self.outcome = run_churn(&mut self.sim, model, cfg, 1, self.engine);
         self.refresh_obs_gauges();
         &self.outcome
     }
@@ -177,13 +178,13 @@ impl Run {
     /// Engine stage: advances simulated time to `t` (time-sliced
     /// sampling loops).
     pub fn advance_to(&mut self, t: Time) -> &RunOutcome {
-        self.outcome = run_sim(
+        self.outcome = run_sim_engine(
             &mut self.sim,
             RunLimits {
                 max_events: u64::MAX,
                 max_time: t,
             },
-            self.threads,
+            self.engine,
         );
         self.refresh_obs_gauges();
         &self.outcome

@@ -1,0 +1,104 @@
+//! Sharded-engine determinism gate (DESIGN.md §12).
+//!
+//! The AP-sharded engine must be indistinguishable from the sequential
+//! oracle on every golden scenario: identical golden-file fingerprints
+//! and **byte-identical** obs traces, at 2 shards (smallest real
+//! split) and 8 shards (more shards than APs in some scenarios, so
+//! routing hints wrap). The single-worker fast paths are gated too:
+//! `run_parallel(1, ..)` and `run_sharded(1, ..)` short-circuit to the
+//! sequential loop and must still stamp the same per-event dispatch
+//! ids into the trace.
+//!
+//! Everything lives in one `#[test]` because the obs layer is global
+//! state; a single test function serializes the runs by construction
+//! (this file is its own test binary, hence its own process).
+
+use abrr_bench::fingerprint::{golden_dir, scenarios};
+use netsim::Engine;
+
+/// One scenario run under one engine, with fresh trace state.
+fn run_traced(run: &dyn Fn(Engine) -> String, engine: Engine) -> (String, String) {
+    obs::trace::reset();
+    obs::trace::set_spec("trace");
+    let fp = run(engine);
+    let trace = obs::trace::drain_jsonl();
+    obs::trace::set_spec("off");
+    obs::trace::reset();
+    (fp, trace)
+}
+
+fn assert_traces_equal(name: &str, engine: Engine, shards: usize, reference: &str, got: &str) {
+    if got == reference {
+        return;
+    }
+    let diff = reference
+        .lines()
+        .zip(got.lines())
+        .enumerate()
+        .find(|(_, (a, b))| a != b);
+    match diff {
+        Some((i, (want, actual))) => panic!(
+            "{name}: trace diverged under {} at {shards} shard(s), line {}:\n  seq:     {want}\n  sharded: {actual}",
+            engine.name(),
+            i + 1
+        ),
+        None => panic!(
+            "{name}: trace length diverged under {} at {shards} shard(s) ({} vs {} lines)",
+            engine.name(),
+            reference.lines().count(),
+            got.lines().count()
+        ),
+    }
+}
+
+#[test]
+fn sharded_engine_matches_goldens_and_traces() {
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        return; // blessing is done by the sequential golden test
+    }
+    let dir = golden_dir();
+    for scn in scenarios() {
+        let path = dir.join(format!("{}.txt", scn.name));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()));
+        let runner = |engine: Engine| scn.run_engine(engine);
+        let (fp_ref, trace_ref) = run_traced(&runner, Engine::Seq);
+        assert_eq!(
+            fp_ref, golden,
+            "{}: sequential reference no longer matches its golden file",
+            scn.name
+        );
+        assert!(
+            !trace_ref.is_empty(),
+            "{}: sequential reference emitted no trace events",
+            scn.name
+        );
+
+        // The tentpole gate: sharded at 2 and 8 shards is byte-identical.
+        for shards in [2usize, 8] {
+            let engine = Engine::Sharded(shards);
+            let (fp, trace) = run_traced(&runner, engine);
+            assert_eq!(
+                fp, golden,
+                "{}: fingerprint diverged from golden at {shards} shard(s)",
+                scn.name
+            );
+            assert_traces_equal(scn.name, engine, shards, &trace_ref, &trace);
+        }
+
+        // The single-worker fast paths short-circuit to the sequential
+        // loop; a byte-identical trace proves they still stamp every
+        // per-event dispatch id (the ids are part of each trace line).
+        for engine in [Engine::Epoch(1), Engine::Sharded(1)] {
+            let (fp, trace) = run_traced(&runner, engine);
+            assert_eq!(
+                fp,
+                golden,
+                "{}: fingerprint diverged on the {} single-worker fast path",
+                scn.name,
+                engine.name()
+            );
+            assert_traces_equal(scn.name, engine, 1, &trace_ref, &trace);
+        }
+    }
+}

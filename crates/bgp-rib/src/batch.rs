@@ -1,0 +1,135 @@
+//! Struct-of-arrays candidate batch for the AS-level survivor scan.
+//!
+//! [`best_as_level`](crate::decision::best_as_level) walks `&[Candidate]`
+//! where every comparison chases an `Arc<PathAttributes>` pointer —
+//! fine for one prefix, but an ARR under Tier-1 churn runs the steps
+//! 1–4 scan for every managed-route change. [`CandidateBatch`] pulls
+//! the four decision keys (LOCAL_PREF, AS-path length, ORIGIN, MED)
+//! plus the MED group out into dense parallel columns once per
+//! recompute, so the survivor scan reads contiguous memory instead of
+//! scattered heap attributes.
+//!
+//! The batch is a reusable scratch buffer: `load` refills the columns
+//! without reallocating (after warm-up) and `survivors` reuses its
+//! output vector, so a long-lived role pays zero steady-state
+//! allocations for the scan itself.
+//!
+//! Result equivalence with `best_as_level` is exact — same surviving
+//! indices in the same (input) order for every candidate set and
+//! config — and locked down by `tests/soa_batch.rs`.
+
+use crate::decision::{Candidate, DecisionConfig, MedMode};
+use bgp_types::{Asn, LocalPref, Med, Origin};
+use std::collections::BTreeMap;
+
+/// Reusable struct-of-arrays buffer holding the AS-level decision keys
+/// of one candidate set (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct CandidateBatch {
+    local_pref: Vec<LocalPref>,
+    path_len: Vec<usize>,
+    origin: Vec<Origin>,
+    med: Vec<Med>,
+    med_group: Vec<Option<Asn>>,
+    survivors: Vec<usize>,
+    min_by_group: BTreeMap<Asn, Med>,
+}
+
+impl CandidateBatch {
+    /// An empty batch.
+    pub fn new() -> CandidateBatch {
+        CandidateBatch::default()
+    }
+
+    /// Number of loaded candidates.
+    pub fn len(&self) -> usize {
+        self.local_pref.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.local_pref.is_empty()
+    }
+
+    /// Refills the columns from `cands`, reusing existing capacity.
+    pub fn load(&mut self, cands: &[Candidate]) {
+        self.local_pref.clear();
+        self.path_len.clear();
+        self.origin.clear();
+        self.med.clear();
+        self.med_group.clear();
+        for c in cands {
+            self.local_pref.push(c.attrs.effective_local_pref());
+            self.path_len.push(c.attrs.as_path.path_len());
+            self.origin.push(c.attrs.origin);
+            self.med.push(c.attrs.effective_med());
+            self.med_group.push(c.med_group());
+        }
+    }
+
+    /// Runs decision steps 1–4 over the loaded columns and returns the
+    /// surviving indices in input order — exactly
+    /// [`best_as_level`](crate::decision::best_as_level) on the set the
+    /// batch was loaded from. The slice borrows the batch's reusable
+    /// output buffer and is valid until the next `load`/`survivors`
+    /// call.
+    pub fn survivors(&mut self, cfg: &DecisionConfig) -> &[usize] {
+        let CandidateBatch {
+            local_pref,
+            path_len,
+            origin,
+            med,
+            med_group,
+            survivors,
+            min_by_group,
+        } = self;
+        survivors.clear();
+        if local_pref.is_empty() {
+            return survivors;
+        }
+        // Step 1: highest local pref — full-column scan, no indices.
+        let best_lp = *local_pref.iter().max().expect("non-empty");
+        survivors.extend((0..local_pref.len()).filter(|&i| local_pref[i] == best_lp));
+        // Step 2: shortest AS path.
+        let best_len = survivors
+            .iter()
+            .map(|&i| path_len[i])
+            .min()
+            .expect("non-empty");
+        survivors.retain(|&i| path_len[i] == best_len);
+        // Step 3: lowest origin.
+        let best_origin = survivors
+            .iter()
+            .map(|&i| origin[i])
+            .min()
+            .expect("non-empty");
+        survivors.retain(|&i| origin[i] == best_origin);
+        // Step 4: lowest MED within the configured comparison scope.
+        match cfg.med {
+            MedMode::AlwaysCompare => {
+                let best = survivors.iter().map(|&i| med[i]).min().expect("non-empty");
+                survivors.retain(|&i| med[i] == best);
+            }
+            MedMode::SameNeighborAs => {
+                min_by_group.clear();
+                for &i in survivors.iter() {
+                    if let Some(g) = med_group[i] {
+                        min_by_group
+                            .entry(g)
+                            .and_modify(|m| {
+                                if med[i] < *m {
+                                    *m = med[i];
+                                }
+                            })
+                            .or_insert(med[i]);
+                    }
+                }
+                survivors.retain(|&i| match med_group[i] {
+                    None => true,
+                    Some(g) => med[i] == min_by_group[&g],
+                });
+            }
+        }
+        survivors
+    }
+}

@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod decision;
 pub mod rib;
 
+pub use batch::CandidateBatch;
 pub use decision::{best_as_level, best_path, Candidate, DecisionConfig, IgpMetric, MedMode};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, PathSet};

@@ -127,6 +127,20 @@ impl BgpNode {
         [&self.border, &self.client, &self.arr, &self.trr]
     }
 
+    /// Shard-affinity hint for prefix-plane work: the id of the Address
+    /// Partition covering `prefix` (ABRR's own interaction-freedom key),
+    /// falling back to the prefix's first address when no AP map is
+    /// configured (TBRR/full-mesh modes) so hints still spread.
+    fn shard_hint(&self, prefix: &Ipv4Prefix) -> u64 {
+        self.ch
+            .spec
+            .ap_map
+            .as_ref()
+            .and_then(|m| m.partitions().iter().find(|p| p.covers(prefix)))
+            .map(|p| p.id.0 as u64)
+            .unwrap_or_else(|| prefix.first_addr() as u64)
+    }
+
     /// This node's id.
     pub fn id(&self) -> RouterId {
         self.ch.id
@@ -635,5 +649,47 @@ impl Protocol for BgpNode {
         for (_prefix, msg) in batch {
             self.ch.do_send(ctx, peer, msg);
         }
+    }
+
+    fn classify_external(&self, ev: &ExternalEvent) -> netsim::ExternalClass {
+        match ev {
+            // Prefix-plane: the handler touches exactly one prefix's
+            // state, so it batches freely inside a sharded window.
+            ExternalEvent::EbgpAnnounce { prefix, .. }
+            | ExternalEvent::EbgpWithdraw { prefix, .. }
+            | ExternalEvent::Local { prefix, .. } => netsim::ExternalClass::Prefix {
+                shard_hint: self.shard_hint(prefix),
+            },
+            // Session-plane: a reset purges and resyncs a whole peer; a
+            // reassignment rewrites peer groups and the managed table
+            // for every prefix of the AP; a cutover re-evaluates every
+            // covered prefix. All cross-prefix — they must fence.
+            ExternalEvent::SessionReset { .. }
+            | ExternalEvent::ReassignAp { .. }
+            | ExternalEvent::CutoverAp(_) => netsim::ExternalClass::Fence,
+        }
+    }
+
+    fn msg_shard(&self, msg: &BgpMsg) -> u64 {
+        self.shard_hint(&msg.prefix)
+    }
+
+    fn timer_lead(&self) -> netsim::Time {
+        // The promise backing multi-timestamp sharded windows: every
+        // timer this node sets is at least this far in the future.
+        // Inbox timers fire at `now + proc_delay` and are only set when
+        // proc_delay > 0; MRAI flush timers are only set when the
+        // pacer defers, which puts `flush_at` strictly after `now`
+        // (integer µs, so at least now + 1). With neither configured
+        // the node sets no timers at all.
+        let pd = self.ch.spec.proc_delay(self.ch.id);
+        let mut lead = netsim::Time::MAX;
+        if pd > 0 {
+            lead = lead.min(pd);
+        }
+        if self.ch.spec.mrai_us > 0 {
+            lead = lead.min(1);
+        }
+        lead
     }
 }

@@ -8,7 +8,7 @@ use super::{AdvertiseEnv, Chassis, Role, Rx};
 use crate::msg::{BgpMsg, Plane};
 use crate::node::group;
 use crate::spec::{AbrrLoopPrevention, Mode, NetworkSpec};
-use bgp_rib::{best_as_level, AdjRibIn, Candidate, PathSet};
+use bgp_rib::{AdjRibIn, Candidate, CandidateBatch, PathSet};
 use bgp_types::{intern, ApId, ClusterId, Ipv4Prefix, OriginatorId, PathId, RouteSource, RouterId};
 use netsim::Ctx;
 
@@ -19,6 +19,11 @@ pub struct ArrRole {
     arr_in: AdjRibIn,
     /// APs this node reflects. Mutable at runtime (§2.2 reassignment).
     arr_aps: Vec<ApId>,
+    /// Reusable struct-of-arrays scratch for the steps 1–4 survivor
+    /// scan: one recompute per managed-route change makes this the
+    /// ARR's hottest decision path, so the scan runs over dense
+    /// columns instead of pointer-chased attributes.
+    batch: CandidateBatch,
 }
 
 impl ArrRole {
@@ -26,6 +31,7 @@ impl ArrRole {
         ArrRole {
             arr_in: AdjRibIn::new(),
             arr_aps: spec.arr_aps_of(id),
+            batch: CandidateBatch::new(),
         }
     }
 
@@ -97,10 +103,11 @@ impl ArrRole {
                 neighbor_id: peer.0,
             })
             .collect();
-        let surv = best_as_level(&cands, &ch.spec.decision);
+        self.batch.load(&cands);
+        let surv = self.batch.survivors(&ch.spec.decision);
         let set: PathSet = surv
-            .into_iter()
-            .map(|i| {
+            .iter()
+            .map(|&i| {
                 let c = &cands[i];
                 let mut a = (*c.attrs).clone();
                 // Stamp provenance so clients can tie-break by true

@@ -180,14 +180,26 @@ impl Scenario {
         self.run_threaded(mode, max_events, 0)
     }
 
-    /// Like [`Scenario::run`], but selecting the engine: `threads == 0`
-    /// runs the sequential event loop, `threads >= 1` the deterministic
-    /// parallel engine. Outcomes are identical either way.
+    /// Like [`Scenario::run`], but selecting the engine via the
+    /// historical `threads` convention: `threads == 0` runs the
+    /// sequential event loop, `threads >= 1` the epoch-parallel
+    /// engine. Outcomes are identical either way.
     pub fn run_threaded(
         &self,
         mode: Mode,
         max_events: u64,
         threads: usize,
+    ) -> (netsim::Sim<crate::node::BgpNode>, netsim::RunOutcome) {
+        self.run_engine(mode, max_events, netsim::Engine::from_threads(threads))
+    }
+
+    /// Like [`Scenario::run`], but under an explicit [`netsim::Engine`].
+    /// All engines produce identical outcomes.
+    pub fn run_engine(
+        &self,
+        mode: Mode,
+        max_events: u64,
+        engine: netsim::Engine,
     ) -> (netsim::Sim<crate::node::BgpNode>, netsim::RunOutcome) {
         let spec = Arc::new(self.spec(mode));
         let mut sim = crate::spec::build_sim(spec);
@@ -201,11 +213,7 @@ impl Scenario {
             max_events,
             max_time: u64::MAX,
         };
-        let outcome = if threads == 0 {
-            sim.run(limits)
-        } else {
-            sim.run_parallel(threads, limits)
-        };
+        let outcome = sim.run_engine(engine, limits);
         (sim, outcome)
     }
 }

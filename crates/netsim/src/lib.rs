@@ -15,18 +15,23 @@
 //! a single `(time, seq)`-ordered event heap, nodes as state machines
 //! implementing [`Protocol`], and all I/O expressed as messages.
 //!
-//! Two execution engines share that state: the sequential loop
-//! [`Sim::run`] and the conservative parallel engine
+//! Three execution engines share that state: the sequential loop
+//! [`Sim::run`] (the oracle); the conservative epoch-parallel engine
 //! [`Sim::run_parallel`] (see [`parallel`]), which drains each
 //! same-timestamp epoch across a worker pool and merges results in
-//! sequential order — bit-identical outputs, selectable per run.
+//! sequential order; and the AP-sharded engine [`Sim::run_sharded`]
+//! (see [`sharded`]), which batches prefix-plane events into
+//! multi-timestamp lookahead windows routed to per-shard workers,
+//! fencing only at session-semantic boundaries. All three produce
+//! bit-identical outputs, selectable per run via [`Engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mrai;
 pub mod parallel;
+pub mod sharded;
 pub mod sim;
 
 pub use mrai::{Mrai, MraiVerdict};
-pub use sim::{Ctx, NodeStats, Protocol, RunLimits, RunOutcome, Sim, Time};
+pub use sim::{Ctx, Engine, ExternalClass, NodeStats, Protocol, RunLimits, RunOutcome, Sim, Time};

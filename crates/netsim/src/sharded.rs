@@ -1,0 +1,889 @@
+//! AP-sharded parallel execution with session-boundary fences.
+//!
+//! [`Sim::run_sharded`] is the second parallel engine. Where
+//! [`Sim::run_parallel`] barriers every node at every timestamp, this
+//! engine exploits the structure ABRR itself provides: prefix-plane
+//! events (UPDATE/WITHDRAW deliveries, MRAI flush timers, per-prefix
+//! decision recomputations) in different Address Partitions never
+//! interact, so per-AP work can run ahead across *multiple* timestamps
+//! on its own shard worker. Only *session-plane* events — session
+//! up/down, node crash/restart, and protocol-declared externals like
+//! session resets and AP reassignment — synchronize: they act as
+//! fences at which every shard rendezvouses before the shared session
+//! and role structure changes.
+//!
+//! Concretely, the loop alternates between two states:
+//!
+//! * **Fence**: the head event is global (`parallel::is_global`) or
+//!   an external the protocol classifies as [`ExternalClass::Fence`].
+//!   It runs sequentially through the exact [`Sim::run`] dispatch path.
+//! * **Window**: the head is pure. The engine pops a *window* of pure
+//!   events spanning as many timestamps as the lookahead horizon
+//!   allows, partitions it by node, routes each node task to a shard
+//!   worker chosen by AP affinity ([`Protocol::msg_shard`] /
+//!   [`ExternalClass::Prefix`] hints), executes tasks concurrently,
+//!   and merges the collected actions back in exact sequential order.
+//!
+//! # The lookahead horizon (why multi-timestamp windows are safe)
+//!
+//! The sequential engine processes events in `(time, id)` order, and
+//! ids double as tie-breaks *and* trace keys, so equivalence requires
+//! replaying the exact id-assignment schedule. A window is safe exactly
+//! when no action emitted by a window event can precede any window
+//! event in that order. Let `lead(n)` be a lower bound on how far into
+//! the future node `n`'s callbacks can schedule anything:
+//!
+//! ```text
+//! lead(n) = min( min latency of any session incident to n,
+//!                n.timer_lead() )
+//! ```
+//!
+//! A callback running at time `t` on node `n` can only push events at
+//! `t' >= t + lead(n)` (sends arrive after session latency; timers obey
+//! the [`Protocol::timer_lead`] promise). The collection loop
+//! maintains `horizon = min over collected events e of (t_e +
+//! lead(node_e))` and admits the next heap head only while `head.at <=
+//! horizon`. For any two window events `e_i`, `e_j`: if `e_j` was
+//! admitted after `e_i` then `t_j <= t_i + lead(node_i)` by the
+//! horizon check, and if before, then `t_i >= t_j` since the heap pops
+//! in nondecreasing time. Either way every push from `e_i` lands at
+//! `t' >= t_j`; and at `t' == t_j` the push's fresh sequence id is
+//! larger than `e_j`'s. So the window is **exactly the next |window|
+//! events of the sequential schedule** — no speculation, no rollback.
+//! Merging actions in ascending window order (with `now` set to each
+//! originating event's time) then reproduces the sequential engine's
+//! pushes, ids, counters, and trace stamps verbatim.
+//!
+//! With the default `timer_lead() == 0` the horizon collapses to the
+//! head timestamp and windows degenerate to per-timestamp epochs —
+//! sound for any protocol, including ones that set same-instant
+//! timers. BGP nodes promise real leads (processing delay, strictly
+//! future MRAI flushes), and with MRAI off a window stretches to the
+//! minimum session latency — classic conservative-DES lookahead.
+//!
+//! # Why fences are where they are
+//!
+//! Global events mutate the session table and the `down` set that
+//! every in-window drop decision and `lead` bound reads. Protocol
+//! fences (see `abrr`'s classification) cover externals whose handlers
+//! rewrite *cross-prefix* routing structure: a session reset purges
+//! and resyncs entire peer state; an AP reassignment rewrites peer
+//! groups and the managed table for every prefix of the AP; a
+//! transition cutover re-evaluates every covered prefix. Running those
+//! inside a window would interleave one shard's structural rewrite
+//! with other shards' per-prefix work — the sharded engine instead
+//! drains all shards, applies the change on the sequential path, and
+//! reopens windows against the new structure.
+//!
+//! Shard routing itself (`hint % shards`, falling back to the node id)
+//! is deliberately only a locality lever: correctness comes from
+//! per-node task serialization plus the canonical merge order, so a
+//! spanning prefix or a mis-hinted message costs locality, never
+//! determinism.
+
+use crate::parallel::{is_global, NodeEvent};
+use crate::sim::{Action, Ctx, Engine, Event, ExternalClass, Protocol, RunLimits, RunOutcome, Sim};
+use crate::Time;
+use bgp_types::RouterId;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// One popped window event before partitioning: `(node, at, id, event,
+/// shard hint)`. The hint is `Some` only for deliveries and externals
+/// that carried an [`ExternalClass::Prefix`] / [`Protocol::msg_shard`]
+/// affinity.
+type WindowEntry<P> = (RouterId, Time, u64, NodeEvent<P>, Option<u64>);
+
+/// One node's events within a window, in ascending `(time, id)` order.
+/// Unlike the epoch engine's task, each event carries its own firing
+/// time: a window spans timestamps.
+struct WindowTask<P: Protocol> {
+    slot: usize,
+    node_id: RouterId,
+    node: P,
+    /// `(pos, at, id, event)`: `pos` indexes the window batch for the
+    /// merge; `(at, id)` is the entry's canonical dispatch stamp.
+    events: Vec<(u32, Time, u64, NodeEvent<P>)>,
+    /// Destination shard worker.
+    shard: usize,
+}
+
+/// A worker's result: the node moved back, one flat action buffer, and
+/// per-event `(pos, at, action count)` bounds for the ordered merge.
+struct WindowResult<P: Protocol> {
+    slot: usize,
+    node_id: RouterId,
+    node: P,
+    actions: Vec<Action<P::Msg>>,
+    bounds: Vec<(u32, Time, u32)>,
+}
+
+fn execute_window_task<P: Protocol>(task: WindowTask<P>) -> WindowResult<P> {
+    let task_start = obs::profile::enabled().then(std::time::Instant::now);
+    let WindowTask {
+        slot,
+        node_id,
+        mut node,
+        events,
+        shard: _,
+    } = task;
+    let mut actions: Vec<Action<P::Msg>> = Vec::new();
+    let mut bounds = Vec::with_capacity(events.len());
+    for (pos, at, id, ev) in events {
+        let start = actions.len();
+        // The same (time, id) stamp the sequential engine would use
+        // for this event, so traces merge byte-identically.
+        obs::trace::set_dispatch(at, id);
+        let mut ctx = Ctx::for_worker(at, node_id, actions);
+        match ev {
+            NodeEvent::Msg { from, msg } => node.on_message(&mut ctx, from, msg),
+            NodeEvent::Timer { token } => node.on_timer(&mut ctx, token),
+            NodeEvent::External { ev } => node.on_external(&mut ctx, ev),
+        }
+        actions = ctx.into_actions();
+        bounds.push((pos, at, (actions.len() - start) as u32));
+    }
+    if let Some(t0) = task_start {
+        obs::profile::add_task_ns(t0.elapsed().as_nanos() as u64);
+    }
+    WindowResult {
+        slot,
+        node_id,
+        node,
+        actions,
+        bounds,
+    }
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Runs one of the three engines, selected at runtime. All produce
+    /// bit-identical results for the same limits.
+    pub fn run_engine(&mut self, engine: Engine, limits: RunLimits) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send,
+        P::External: Send,
+    {
+        match engine {
+            Engine::Seq => self.run(limits),
+            Engine::Epoch(n) => self.run_parallel(n, limits),
+            Engine::Sharded(n) => self.run_sharded(n, limits),
+        }
+    }
+
+    /// Runs the event loop on `shards` shard workers with per-shard
+    /// task queues and session-boundary fences (see module docs),
+    /// producing results bit-identical to [`Sim::run`].
+    ///
+    /// `shards <= 1` runs the sequential loop directly — one worker
+    /// gains nothing from window machinery, and [`Sim::run`] stamps
+    /// the same dispatch ids, so obs traces stay byte-identical.
+    pub fn run_sharded(&mut self, shards: usize, limits: RunLimits) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send,
+        P::External: Send,
+    {
+        if shards <= 1 {
+            return self.run(limits);
+        }
+        // One task channel per shard (the "explicit cross-shard
+        // channels": the merge thread is the only producer, so
+        // session-plane effects reach a shard only between windows),
+        // one shared result channel back.
+        let mut task_txs: Vec<mpsc::Sender<WindowTask<P>>> = Vec::with_capacity(shards);
+        let mut task_rxs: Vec<mpsc::Receiver<WindowTask<P>>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            task_txs.push(tx);
+            task_rxs.push(rx);
+        }
+        let (res_tx, res_rx) = mpsc::channel::<WindowResult<P>>();
+        std::thread::scope(|s| {
+            for rx in task_rxs {
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        if res_tx.send(execute_window_task(task)).is_err() {
+                            break;
+                        }
+                    }
+                    // Flush buffered trace events inside the closure:
+                    // the thread-local drop-flush can run after the
+                    // scope join observes this worker as finished,
+                    // which would race a drain on the main thread.
+                    obs::trace::flush_local();
+                });
+            }
+            let outcome = self.run_windows(shards, limits, &mut |tasks| {
+                let k = tasks.len();
+                for t in tasks {
+                    let shard = t.shard;
+                    task_txs[shard].send(t).expect("shard worker hung up");
+                }
+                (0..k)
+                    .map(|_| res_rx.recv().expect("shard worker panicked"))
+                    .collect()
+            });
+            // Hang up so the workers' recv() errors and they exit.
+            drop(task_txs);
+            outcome
+        })
+    }
+
+    /// Convenience: [`Sim::run_sharded`] with default limits.
+    pub fn run_sharded_to_quiescence(&mut self, shards: usize) -> RunOutcome
+    where
+        P: Send,
+        P::Msg: Send,
+        P::External: Send,
+    {
+        self.run_sharded(shards, RunLimits::default())
+    }
+
+    /// Whether the head event synchronizes: a global event, or an
+    /// external the receiving protocol classifies as session-plane.
+    fn is_fence(&self, ev: &Event<P>) -> bool {
+        if is_global(ev) {
+            return true;
+        }
+        if let Event::External { node, ev } = ev {
+            if let Some(n) = self.nodes.get(node) {
+                return matches!(n.classify_external(ev), ExternalClass::Fence);
+            }
+        }
+        false
+    }
+
+    /// Per-node lookahead bounds: `min(min incident session latency,
+    /// timer_lead)`. Rebuilt after every fence (the only points where
+    /// sessions or node liveness change mid-run).
+    fn build_leads(&self, leads: &mut BTreeMap<RouterId, Time>) {
+        leads.clear();
+        for (id, node) in &self.nodes {
+            leads.insert(*id, node.timer_lead());
+        }
+        for (&(a, b), &lat) in &self.sessions {
+            for n in [a, b] {
+                if let Some(l) = leads.get_mut(&n) {
+                    *l = (*l).min(lat);
+                }
+            }
+        }
+    }
+
+    /// The window loop shared by the pooled executor (and trivially
+    /// testable with an inline one). `exec` runs a set of tasks and
+    /// returns their results in any order.
+    fn run_windows(
+        &mut self,
+        shards: usize,
+        limits: RunLimits,
+        exec: &mut dyn FnMut(Vec<WindowTask<P>>) -> Vec<WindowResult<P>>,
+    ) -> RunOutcome {
+        let profiling = obs::profile::enabled();
+        let run_start = profiling.then(std::time::Instant::now);
+        if profiling {
+            obs::profile::run_started();
+        }
+        obs::trace::new_run();
+        self.start();
+        let mut events = 0u64;
+        let mut windows = 0u64;
+        let mut fences = 0u64;
+        let mut max_queue = 0usize;
+        let mut max_window_batch = 0usize;
+        let mut leads: BTreeMap<RouterId, Time> = BTreeMap::new();
+        let mut leads_stale = true;
+        let quiesced = 'run: loop {
+            let Some(head) = self.heap.peek() else {
+                break 'run true;
+            };
+            let at = head.at;
+            if events >= limits.max_events || at > limits.max_time {
+                break 'run false;
+            }
+            if profiling {
+                max_queue = max_queue.max(self.heap.len());
+            }
+            if self.is_fence(&head.ev) {
+                // Session-plane: all shards have rendezvoused (the
+                // previous window fully merged), so mutate shared
+                // state on the exact sequential path.
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.now = at;
+                events += 1;
+                fences += 1;
+                obs::trace::set_dispatch(at, entry.id);
+                self.dispatch_event(entry.ev);
+                leads_stale = true;
+                continue;
+            }
+            if leads_stale {
+                self.build_leads(&mut leads);
+                leads_stale = false;
+            }
+            // Collect a window: pure events in heap order while the
+            // lookahead horizon allows, replicating the sequential
+            // engine's per-event drop bookkeeping (drops count as
+            // processed events).
+            let mut batch: Vec<WindowEntry<P>> = Vec::new();
+            let mut horizon = Time::MAX;
+            let mut window_end = at;
+            while let Some(head) = self.heap.peek() {
+                if head.at > horizon
+                    || head.at > limits.max_time
+                    || events >= limits.max_events
+                    || self.is_fence(&head.ev)
+                {
+                    break;
+                }
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                let t = entry.at;
+                events += 1;
+                window_end = t;
+                match entry.ev {
+                    Event::Deliver { from, to, msg } => {
+                        if self.down.contains(&to) {
+                            self.dropped += 1;
+                            continue;
+                        }
+                        if let Some(stats) = self.stats.get_mut(&to) {
+                            stats.received += 1;
+                        }
+                        let hint = self.nodes.get(&to).map(|n| n.msg_shard(&msg));
+                        horizon = horizon.min(t.saturating_add(lead_of(&leads, to)));
+                        batch.push((to, t, entry.id, NodeEvent::Msg { from, msg }, hint));
+                    }
+                    Event::Timer { node, token } => {
+                        if self.down.contains(&node) {
+                            continue;
+                        }
+                        horizon = horizon.min(t.saturating_add(lead_of(&leads, node)));
+                        batch.push((node, t, entry.id, NodeEvent::Timer { token }, None));
+                    }
+                    Event::External { node, ev } => {
+                        if self.down.contains(&node) {
+                            self.dropped += 1;
+                            continue;
+                        }
+                        // is_fence() returned false for this entry, so
+                        // the classification is Prefix (or the node is
+                        // absent and the callback will no-op anyway).
+                        let hint = self
+                            .nodes
+                            .get(&node)
+                            .map(|n| match n.classify_external(&ev) {
+                                ExternalClass::Prefix { shard_hint } => shard_hint,
+                                ExternalClass::Fence => 0,
+                            });
+                        horizon = horizon.min(t.saturating_add(lead_of(&leads, node)));
+                        batch.push((node, t, entry.id, NodeEvent::External { ev }, hint));
+                    }
+                    _ => unreachable!("global event in pure window"),
+                }
+            }
+            self.now = window_end;
+            let n = batch.len();
+            if n == 0 {
+                continue;
+            }
+            // Partition by node, preserving ascending event order
+            // within each task; the first explicit hint of a node's
+            // events picks its shard, falling back to the node id.
+            let mut slot_of: BTreeMap<RouterId, usize> = BTreeMap::new();
+            let mut tasks: Vec<WindowTask<P>> = Vec::new();
+            for (pos, (node_id, t, id, ev, hint)) in batch.into_iter().enumerate() {
+                let slot = match slot_of.get(&node_id) {
+                    Some(&s) => s,
+                    None => {
+                        // A node can be absent only if a callback host
+                        // was never registered; mirror `with_node`'s
+                        // silent no-op in that case.
+                        let Some(node) = self.nodes.remove(&node_id) else {
+                            continue;
+                        };
+                        let s = tasks.len();
+                        tasks.push(WindowTask {
+                            slot: s,
+                            node_id,
+                            node,
+                            events: Vec::new(),
+                            shard: (node_id.0 as usize) % shards,
+                        });
+                        slot_of.insert(node_id, s);
+                        s
+                    }
+                };
+                if tasks[slot].events.is_empty() {
+                    if let Some(h) = hint {
+                        tasks[slot].shard = (h as usize) % shards;
+                    }
+                }
+                tasks[slot].events.push((pos as u32, t, id, ev));
+            }
+            if profiling {
+                windows += 1;
+                max_window_batch = max_window_batch.max(n);
+            }
+            let k = tasks.len();
+            let results = exec(tasks);
+            assert_eq!(results.len(), k, "shard result missing");
+            // Re-key results by slot, hand the nodes back, and build
+            // the pos -> (slot, time, action count) index.
+            let mut per_pos: Vec<(u32, Time, u32)> = vec![(0, 0, 0); n];
+            let mut iters: Vec<Option<std::vec::IntoIter<Action<P::Msg>>>> =
+                (0..k).map(|_| None).collect();
+            let mut from_of: Vec<RouterId> = vec![RouterId(0); k];
+            for r in results {
+                for &(pos, t, count) in &r.bounds {
+                    per_pos[pos as usize] = (r.slot as u32 + 1, t, count);
+                }
+                self.nodes.insert(r.node_id, r.node);
+                from_of[r.slot] = r.node_id;
+                iters[r.slot] = Some(r.actions.into_iter());
+            }
+            // Merge: apply every callback's actions in ascending window
+            // order with `now` set to the originating event's time —
+            // the exact interleaving (and sequence-id assignment) of
+            // the sequential loop.
+            for &(slot1, t, count) in per_pos.iter() {
+                if slot1 == 0 {
+                    continue;
+                }
+                let slot = (slot1 - 1) as usize;
+                let from = from_of[slot];
+                self.now = t;
+                let it = iters[slot].as_mut().expect("result slot unfilled");
+                for _ in 0..count {
+                    let action = it.next().expect("action bounds out of sync");
+                    self.apply_action(from, action);
+                }
+            }
+            self.now = window_end;
+        };
+        obs::trace::clear_dispatch();
+        self.record_run_metrics(events);
+        if let Some(t0) = run_start {
+            obs::profile::run_finished(obs::profile::RunProfile {
+                engine: "sharded",
+                threads: shards,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                events,
+                epochs: windows,
+                fences,
+                max_queue,
+                max_epoch_batch: max_window_batch,
+                task_ns: 0,
+            });
+        }
+        RunOutcome {
+            quiesced,
+            events,
+            end_time: self.now,
+        }
+    }
+}
+
+/// Lead for a node; absent nodes host no callbacks (the task partition
+/// no-ops them), so they cannot schedule anything.
+fn lead_of(leads: &BTreeMap<RouterId, Time>, node: RouterId) -> Time {
+    leads.get(&node).copied().unwrap_or(Time::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NodeStats;
+
+    /// Same fixture as the epoch-engine tests: echoes every received
+    /// number minus one to both ring neighbours, with same-instant
+    /// self-timer cascades. `timer_lead` stays at the default 0, so
+    /// windows degenerate to per-timestamp epochs — the sound fallback
+    /// the engine must get right before lookahead buys anything.
+    struct Gossip {
+        peers: Vec<RouterId>,
+        sum: u64,
+        log: Vec<(RouterId, u32)>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        type External = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: RouterId, msg: u32) {
+            self.sum += msg as u64;
+            self.log.push((from, msg));
+            if msg > 0 {
+                for &p in &self.peers {
+                    ctx.send(p, msg - 1);
+                }
+            }
+        }
+
+        fn on_external(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            if ev >= 100 {
+                ctx.set_timer(ctx.now(), (ev - 100) as u64);
+                return;
+            }
+            for &p in &self.peers {
+                ctx.send(p, ev);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<u32>, token: u64) {
+            self.sum += token;
+            if token > 0 {
+                ctx.set_timer(ctx.now(), token - 1);
+            }
+        }
+
+        fn on_session_down(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.log.push((peer, u32::MAX));
+        }
+
+        fn on_session_up(&mut self, _ctx: &mut Ctx<u32>, peer: RouterId) {
+            self.log.push((peer, u32::MAX - 1));
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Ctx<u32>) {
+            self.sum = 0;
+            self.log.clear();
+        }
+
+        fn msg_shard(&self, msg: &u32) -> u64 {
+            // Deliberately scatter: shard by payload parity to prove
+            // routing is a locality lever, not a correctness one.
+            (*msg % 2) as u64
+        }
+    }
+
+    fn ring(n: u32, latency_of: impl Fn(u32) -> Time) -> Sim<Gossip> {
+        let mut sim = Sim::new();
+        for i in 0..n {
+            let peers = vec![RouterId((i + 1) % n), RouterId((i + n - 1) % n)];
+            sim.add_node(
+                RouterId(i),
+                Gossip {
+                    peers,
+                    sum: 0,
+                    log: vec![],
+                },
+            );
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            sim.add_session(RouterId(i), RouterId(j), latency_of(i));
+        }
+        sim
+    }
+
+    type Fingerprint = (Vec<(RouterId, u64, Vec<(RouterId, u32)>)>, u64, Time);
+
+    fn fingerprint(sim: &Sim<Gossip>) -> Fingerprint {
+        let nodes = sim
+            .nodes()
+            .map(|(id, g)| (id, g.sum, g.log.clone()))
+            .collect();
+        (nodes, sim.dropped_messages(), sim.now())
+    }
+
+    fn stats_of(sim: &Sim<Gossip>) -> Vec<(RouterId, NodeStats)> {
+        sim.nodes().map(|(id, _)| (id, sim.stats(id))).collect()
+    }
+
+    fn seed(sim: &mut Sim<Gossip>) {
+        sim.schedule_external(0, RouterId(0), 6);
+        sim.schedule_external(0, RouterId(3), 6);
+        sim.schedule_external(5, RouterId(1), 4);
+        // Faults mid-run: fences must interleave correctly.
+        sim.schedule_session_down(20, RouterId(0), RouterId(1));
+        sim.schedule_node_down(40, RouterId(2));
+        sim.schedule_node_up(60, RouterId(2));
+        sim.schedule_session_up(70, RouterId(0), RouterId(1), 10);
+        sim.schedule_external(80, RouterId(0), 3);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_uniform_latency() {
+        let mut seq = ring(8, |_| 10);
+        seed(&mut seq);
+        let out_seq = seq.run_to_quiescence();
+
+        for shards in [1, 2, 8] {
+            let mut sh = ring(8, |_| 10);
+            seed(&mut sh);
+            let out_sh = sh.run_sharded(shards, RunLimits::default());
+            assert_eq!(out_seq, out_sh, "outcome differs at {shards} shards");
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&sh),
+                "state differs at {shards} shards"
+            );
+            assert_eq!(stats_of(&seq), stats_of(&sh));
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_skewed_latency() {
+        let mut seq = ring(8, |i| 7 + 13 * (i as Time));
+        seed(&mut seq);
+        seq.run_to_quiescence();
+
+        let mut sh = ring(8, |i| 7 + 13 * (i as Time));
+        seed(&mut sh);
+        sh.run_sharded(4, RunLimits::default());
+        assert_eq!(fingerprint(&seq), fingerprint(&sh));
+        assert_eq!(stats_of(&seq), stats_of(&sh));
+    }
+
+    #[test]
+    fn sharded_respects_event_limit_identically() {
+        let limits = RunLimits {
+            max_events: 37,
+            max_time: Time::MAX,
+        };
+        let mut seq = ring(6, |_| 5);
+        seed(&mut seq);
+        let out_seq = seq.run(limits);
+        assert!(!out_seq.quiesced);
+
+        let mut sh = ring(6, |_| 5);
+        seed(&mut sh);
+        let out_sh = sh.run_sharded(3, limits);
+        assert_eq!(out_seq, out_sh);
+        assert_eq!(fingerprint(&seq), fingerprint(&sh));
+    }
+
+    #[test]
+    fn sharded_respects_time_limit_identically() {
+        let limits = RunLimits {
+            max_events: u64::MAX,
+            max_time: 45,
+        };
+        let mut seq = ring(6, |_| 5);
+        seed(&mut seq);
+        let out_seq = seq.run(limits);
+
+        let mut sh = ring(6, |_| 5);
+        seed(&mut sh);
+        let out_sh = sh.run_sharded(3, limits);
+        assert_eq!(out_seq, out_sh);
+        assert_eq!(fingerprint(&seq), fingerprint(&sh));
+    }
+
+    #[test]
+    fn same_timestamp_timer_chains_match() {
+        let seed_timers = |sim: &mut Sim<Gossip>| {
+            sim.schedule_external(0, RouterId(0), 2);
+            sim.schedule_external(10, RouterId(1), 105);
+            sim.schedule_external(10, RouterId(2), 103);
+            sim.schedule_external(15, RouterId(1), 0);
+        };
+        let mut seq = ring(4, |_| 10);
+        seed_timers(&mut seq);
+        seq.run_to_quiescence();
+        assert!(seq.node(RouterId(1)).sum >= 15);
+
+        let mut sh = ring(4, |_| 10);
+        seed_timers(&mut sh);
+        sh.run_sharded(8, RunLimits::default());
+        assert_eq!(fingerprint(&seq), fingerprint(&sh));
+    }
+
+    #[test]
+    fn run_can_continue_after_run_sharded() {
+        let mut a = ring(8, |_| 10);
+        seed(&mut a);
+        a.run_to_quiescence();
+
+        let mut b = ring(8, |_| 10);
+        seed(&mut b);
+        let limits = RunLimits {
+            max_events: 25,
+            max_time: Time::MAX,
+        };
+        b.run_sharded(4, limits);
+        b.run_to_quiescence();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn run_engine_selects_all_three() {
+        let mut seq = ring(8, |_| 10);
+        seed(&mut seq);
+        seq.run_engine(Engine::Seq, RunLimits::default());
+        for engine in [Engine::Epoch(2), Engine::Sharded(2)] {
+            let mut other = ring(8, |_| 10);
+            seed(&mut other);
+            other.run_engine(engine, RunLimits::default());
+            assert_eq!(fingerprint(&seq), fingerprint(&other), "{engine:?}");
+        }
+    }
+
+    /// A protocol with a real lookahead promise: every timer it sets is
+    /// at least LEAD in the future, and it classifies one external as a
+    /// fence. Exercises multi-timestamp windows (distinct per-session
+    /// latencies keep events from clustering at one instant) plus the
+    /// fence path, against the sequential oracle.
+    const LEAD: Time = 4;
+
+    struct Paced {
+        peers: Vec<RouterId>,
+        fired: Vec<(Time, u64)>,
+        got: Vec<(Time, RouterId, u32)>,
+        resets: u32,
+    }
+
+    enum PacedEv {
+        Kick(u32),
+        Reset,
+    }
+
+    impl Protocol for Paced {
+        type Msg = u32;
+        type External = PacedEv;
+
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: RouterId, msg: u32) {
+            self.got.push((ctx.now(), from, msg));
+            if msg > 0 {
+                // Re-arm a paced retransmit and forward.
+                ctx.set_timer(ctx.now() + LEAD + (msg as Time % 3), msg as u64);
+                for &p in &self.peers {
+                    ctx.send(p, msg - 1);
+                }
+            }
+        }
+
+        fn on_external(&mut self, ctx: &mut Ctx<u32>, ev: PacedEv) {
+            match ev {
+                PacedEv::Kick(v) => {
+                    for &p in &self.peers {
+                        ctx.send(p, v);
+                    }
+                }
+                PacedEv::Reset => {
+                    self.resets += 1;
+                    self.fired.clear();
+                    self.got.clear();
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<u32>, token: u64) {
+            self.fired.push((ctx.now(), token));
+            if token > 1 {
+                ctx.set_timer(ctx.now() + LEAD, token - 2);
+            }
+        }
+
+        fn classify_external(&self, ev: &PacedEv) -> ExternalClass {
+            match ev {
+                PacedEv::Kick(v) => ExternalClass::Prefix {
+                    shard_hint: *v as u64,
+                },
+                PacedEv::Reset => ExternalClass::Fence,
+            }
+        }
+
+        fn msg_shard(&self, msg: &u32) -> u64 {
+            *msg as u64
+        }
+
+        fn timer_lead(&self) -> Time {
+            LEAD
+        }
+    }
+
+    fn paced_ring(n: u32) -> Sim<Paced> {
+        let mut sim = Sim::new();
+        for i in 0..n {
+            let peers = vec![RouterId((i + 1) % n), RouterId((i + n - 1) % n)];
+            sim.add_node(
+                RouterId(i),
+                Paced {
+                    peers,
+                    fired: vec![],
+                    got: vec![],
+                    resets: 0,
+                },
+            );
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            // Distinct latencies: no two deliveries share a timestamp,
+            // so only genuine lookahead (latency + timer_lead) can
+            // batch more than one event per window.
+            sim.add_session(RouterId(i), RouterId(j), 5 + (i as Time) * 3);
+        }
+        sim
+    }
+
+    fn seed_paced(sim: &mut Sim<Paced>) {
+        sim.schedule_external(0, RouterId(0), PacedEv::Kick(9));
+        sim.schedule_external(2, RouterId(4), PacedEv::Kick(7));
+        sim.schedule_external(33, RouterId(1), PacedEv::Reset);
+        sim.schedule_session_down(50, RouterId(2), RouterId(3));
+        sim.schedule_external(60, RouterId(5), PacedEv::Kick(5));
+    }
+
+    type PacedPrint = (
+        Vec<(RouterId, Vec<(Time, u64)>, Vec<(Time, RouterId, u32)>, u32)>,
+        u64,
+    );
+
+    fn paced_print(sim: &Sim<Paced>) -> PacedPrint {
+        let nodes = sim
+            .nodes()
+            .map(|(id, p)| (id, p.fired.clone(), p.got.clone(), p.resets))
+            .collect();
+        (nodes, sim.dropped_messages())
+    }
+
+    #[test]
+    fn lookahead_windows_match_sequential() {
+        let mut seq = paced_ring(7);
+        seed_paced(&mut seq);
+        let out_seq = seq.run_to_quiescence();
+        assert!(out_seq.quiesced);
+
+        for shards in [2, 8] {
+            let mut sh = paced_ring(7);
+            seed_paced(&mut sh);
+            let out_sh = sh.run_sharded(shards, RunLimits::default());
+            assert_eq!(out_seq, out_sh, "outcome differs at {shards} shards");
+            assert_eq!(
+                paced_print(&seq),
+                paced_print(&sh),
+                "state differs at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_actually_batches_multiple_timestamps() {
+        // Sanity that the Paced fixture exercises windows wider than
+        // one timestamp (otherwise the test above proves nothing new):
+        // profile the run and check a window batched events from more
+        // than one instant — max batch > max events at any timestamp.
+        obs::profile::set_enabled(true);
+        obs::profile::take_runs();
+        let mut sh = paced_ring(7);
+        seed_paced(&mut sh);
+        // 5 shards: no other test in this binary runs sharded at 5, so
+        // the profile below is unambiguous even if tests race on the
+        // global profile store while profiling is enabled.
+        sh.run_sharded(5, RunLimits::default());
+        obs::profile::set_enabled(false);
+        let runs = obs::profile::take_runs();
+        let prof = runs
+            .iter()
+            .find(|p| p.engine == "sharded" && p.threads == 5)
+            .expect("profile");
+        assert!(prof.fences >= 2, "reset + session_down fence: {prof:?}");
+        assert!(
+            prof.epochs < prof.events - prof.fences,
+            "windows never batched: {prof:?}"
+        );
+    }
+}

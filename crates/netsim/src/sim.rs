@@ -7,6 +7,70 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 /// Simulated time in microseconds.
 pub type Time = u64;
 
+/// How the sharded engine ([`Sim::run_sharded`]) treats an external
+/// event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExternalClass {
+    /// Prefix-plane work (route feeds, withdrawals, local origination):
+    /// a pure per-node callback the engine batches into windows. The
+    /// hint steers the event's node task to a shard worker — events
+    /// sharing a hint (e.g. an Address Partition id) land on the same
+    /// worker. Hints are a locality lever, never a correctness one.
+    Prefix {
+        /// Shard-affinity hint (e.g. the AP id covering the prefix).
+        shard_hint: u64,
+    },
+    /// Session-plane work (session resets, role reassignment,
+    /// transition cutovers): acts as a synchronization fence — every
+    /// in-flight window drains, then the event runs on the sequential
+    /// dispatch path before the next window opens.
+    Fence,
+}
+
+/// Selects one of the execution engines sharing a [`Sim`]'s state. All
+/// three produce bit-identical outcomes, traces, and fingerprints; they
+/// differ only in how work is scheduled onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The sequential oracle loop ([`Sim::run`]).
+    Seq,
+    /// Conservative per-timestamp epochs on N workers
+    /// ([`Sim::run_parallel`]).
+    Epoch(usize),
+    /// AP-sharded multi-timestamp windows with session-boundary fences
+    /// on N shard workers ([`Sim::run_sharded`]).
+    Sharded(usize),
+}
+
+impl Engine {
+    /// The historical `--threads` convention: 0 selects the sequential
+    /// engine, N >= 1 the epoch-parallel engine on N workers.
+    pub fn from_threads(threads: usize) -> Engine {
+        if threads == 0 {
+            Engine::Seq
+        } else {
+            Engine::Epoch(threads)
+        }
+    }
+
+    /// Stable engine name (`"seq"`, `"epoch"`, `"sharded"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Seq => "seq",
+            Engine::Epoch(_) => "epoch",
+            Engine::Sharded(_) => "sharded",
+        }
+    }
+
+    /// Worker count (0 for the sequential engine).
+    pub fn workers(self) -> usize {
+        match self {
+            Engine::Seq => 0,
+            Engine::Epoch(n) | Engine::Sharded(n) => n,
+        }
+    }
+}
+
 /// A protocol state machine hosted on a simulator node.
 ///
 /// Callbacks receive a [`Ctx`] through which the node sends messages and
@@ -40,6 +104,37 @@ pub trait Protocol {
     /// automatically — re-establishment arrives later as
     /// `on_session_up` callbacks.
     fn on_restart(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// Classifies an external event about to be injected into this node
+    /// for the sharded engine ([`Sim::run_sharded`]): prefix-plane
+    /// events batch freely inside a window; session-plane events fence.
+    /// The default treats every external as prefix-plane work with a
+    /// neutral shard hint — correct for any protocol, since fencing is
+    /// only *required* for events whose handler rewrites cross-prefix
+    /// routing structure (see `crate::sharded`).
+    fn classify_external(&self, _ev: &Self::External) -> ExternalClass {
+        ExternalClass::Prefix { shard_hint: 0 }
+    }
+
+    /// Shard-affinity hint for a message about to be delivered to this
+    /// node (e.g. the Address Partition its prefix belongs to). Events
+    /// sharing a hint are routed to the same shard worker for locality;
+    /// the hint never affects results. Default: everything on hint 0.
+    fn msg_shard(&self, _msg: &Self::Msg) -> u64 {
+        0
+    }
+
+    /// Lower bound on how far in the future this node's callbacks set
+    /// timers: returning `d` promises that every `Ctx::set_timer(at, _)`
+    /// issued from a callback running at time `t` has `at >= t + d`,
+    /// for the whole lifetime of the node. The sharded engine uses the
+    /// promise (with session latencies) to widen its lookahead windows
+    /// past single timestamps. The default, 0, promises nothing —
+    /// windows then degenerate to per-timestamp epochs, which is always
+    /// sound. Return [`Time::MAX`] if the node never sets timers.
+    fn timer_lead(&self) -> Time {
+        0
+    }
 }
 
 /// Side-effect collector handed to protocol callbacks.

@@ -31,7 +31,7 @@ pub fn enabled() -> bool {
 /// call).
 #[derive(Clone, Debug, Default)]
 pub struct RunProfile {
-    /// `"seq"` or `"par"`.
+    /// `"seq"`, `"par"`, or `"sharded"`.
     pub engine: &'static str,
     /// Worker threads (0 for the sequential engine).
     pub threads: usize,
@@ -39,8 +39,12 @@ pub struct RunProfile {
     pub wall_ns: u64,
     /// Events processed.
     pub events: u64,
-    /// Parallel epochs executed (0 for the sequential engine).
+    /// Parallel epochs (or sharded windows) executed (0 for the
+    /// sequential engine).
     pub epochs: u64,
+    /// Synchronization fences dispatched sequentially (sharded engine
+    /// only; 0 elsewhere).
+    pub fences: u64,
     /// Largest event-queue depth observed.
     pub max_queue: usize,
     /// Largest single-epoch batch (pure events run concurrently).
@@ -97,7 +101,7 @@ pub fn render_runs(profiles: &[RunProfile]) -> String {
             p.engine, p.threads, p.events, p.max_queue
         )
         .expect("write to String");
-        if p.engine == "par" {
+        if p.engine == "par" || p.engine == "sharded" {
             let util = if p.wall_ns > 0 && p.threads > 0 {
                 p.task_ns as f64 / (p.wall_ns as f64 * p.threads as f64)
             } else {
@@ -111,6 +115,9 @@ pub fn render_runs(profiles: &[RunProfile]) -> String {
                 util * 100.0
             )
             .expect("write to String");
+            if p.engine == "sharded" {
+                write!(out, " fences={}", p.fences).expect("write to String");
+            }
         }
         out.push('\n');
     }
@@ -132,6 +139,7 @@ mod tests {
             wall_ns: 1_000,
             events: 10,
             epochs: 3,
+            fences: 0,
             max_queue: 7,
             max_epoch_batch: 4,
             task_ns: 0,

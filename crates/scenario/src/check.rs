@@ -15,15 +15,17 @@
 //!   the twin, so this asserts *post-recovery* equivalence: every
 //!   fault a scenario injects must be survivable for this oracle to
 //!   hold.
-//! * **engines_agree** — the sequential engine and the deterministic
-//!   parallel engine (2 workers) produce identical outcomes, identical
-//!   selections, and byte-identical obs traces.
+//! * **engines_agree** — the sequential engine, the epoch-parallel
+//!   engine (2 workers), and the AP-sharded engine (2 shards) produce
+//!   identical outcomes, identical selections, and byte-identical obs
+//!   traces.
 //! * **exits** — pinned (router, prefix) → exit expectations.
 
 use crate::compile::{Loaded, RunReport};
 use crate::schema::{Check, ModeSpec, Verdict};
 use abrr::audit;
 use bgp_types::{Ipv4Prefix, RouterId};
+use netsim::Engine;
 use std::sync::Mutex;
 
 /// One failed oracle.
@@ -77,10 +79,10 @@ impl ScenarioReport {
 /// equivalence oracle toggles tracing process-wide).
 static OBS_GUARD: Mutex<()> = Mutex::new(());
 
-/// Runs every check of a loaded scenario. `threads` selects the engine
-/// for the primary runs (0 = sequential); the engine-equivalence
-/// oracle always compares sequential vs parallel regardless.
-pub fn run_checks(loaded: &Loaded, threads: usize) -> ScenarioReport {
+/// Runs every check of a loaded scenario. `engine` selects the engine
+/// for the primary runs; the engine-equivalence oracle always compares
+/// all three engines regardless.
+pub fn run_checks(loaded: &Loaded, engine: Engine) -> ScenarioReport {
     let mut report = ScenarioReport {
         name: loaded.name().to_string(),
         expect_fail: loaded.file().expect_verdict == Verdict::Fail,
@@ -90,7 +92,7 @@ pub fn run_checks(loaded: &Loaded, threads: usize) -> ScenarioReport {
     let checks = loaded.file().checks.clone();
     for check in &checks {
         report.checks_run += 1;
-        run_one(loaded, check, threads, &mut report);
+        run_one(loaded, check, engine, &mut report);
     }
     report
 }
@@ -103,9 +105,9 @@ fn fail(report: &mut ScenarioReport, mode: ModeSpec, oracle: &str, msg: impl Int
     });
 }
 
-fn run_one(loaded: &Loaded, check: &Check, threads: usize, report: &mut ScenarioReport) {
+fn run_one(loaded: &Loaded, check: &Check, engine: Engine, report: &mut ScenarioReport) {
     let mode = check.mode;
-    let run = match loaded.run(mode, threads, true) {
+    let run = match loaded.run_engine(mode, engine, true) {
         Ok(r) => r,
         Err(e) => {
             fail(report, mode, "run", e);
@@ -195,7 +197,7 @@ fn run_one(loaded: &Loaded, check: &Check, threads: usize, report: &mut Scenario
     }
 
     if check.matches_full_mesh {
-        match loaded.run(ModeSpec::FullMesh, threads, false) {
+        match loaded.run_engine(ModeSpec::FullMesh, engine, false) {
             Err(e) => fail(report, mode, "matches_full_mesh", e),
             Ok(mesh) => {
                 if !settled || !mesh.outcome.quiesced {
@@ -317,8 +319,10 @@ fn live_prefixes(loaded: &Loaded, run: &RunReport) -> Vec<Ipv4Prefix> {
     }
 }
 
-/// The cross-engine oracle: sequential vs parallel(2) must agree on
-/// outcome, selections, and byte-identical obs traces (DESIGN.md §10).
+/// The cross-engine oracle: the sequential oracle, the epoch-parallel
+/// engine (2 workers), and the AP-sharded engine (2 shards) must agree
+/// on outcome, selections, and byte-identical obs traces (DESIGN.md
+/// §10, §12).
 fn engines_agree(
     loaded: &Loaded,
     mode: ModeSpec,
@@ -326,35 +330,41 @@ fn engines_agree(
     prefixes: &[Ipv4Prefix],
 ) -> Result<(), String> {
     let _guard = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
-    let run_traced = |threads: usize| -> Result<(RunReport, String), String> {
+    let run_traced = |engine: Engine| -> Result<(RunReport, String), String> {
         obs::trace::reset();
         obs::trace::set_spec("trace");
-        let run = loaded.run(mode, threads, true);
+        let run = loaded.run_engine(mode, engine, true);
         let trace = obs::trace::drain_jsonl();
         obs::trace::reset();
         run.map(|r| (r, trace))
     };
-    let (seq, seq_trace) = run_traced(0)?;
-    let (par, par_trace) = run_traced(2)?;
-    if seq.outcome != par.outcome {
-        return Err(format!(
-            "outcomes diverge: sequential {:?} vs parallel {:?}",
-            seq.outcome, par.outcome
-        ));
-    }
-    if !audit::selections_equal(&seq.sim, &par.sim, routers, prefixes) {
-        return Err("selections diverge between sequential and parallel engines".to_string());
-    }
-    if seq_trace != par_trace {
-        let lines_a = seq_trace.lines().count();
-        let lines_b = par_trace.lines().count();
-        let first_diff = seq_trace
-            .lines()
-            .zip(par_trace.lines())
-            .position(|(a, b)| a != b);
-        return Err(format!(
-            "obs traces diverge ({lines_a} vs {lines_b} events, first difference at line {first_diff:?})"
-        ));
+    let (seq, seq_trace) = run_traced(Engine::Seq)?;
+    for engine in [Engine::Epoch(2), Engine::Sharded(2)] {
+        let name = engine.name();
+        let (other, other_trace) = run_traced(engine)?;
+        if seq.outcome != other.outcome {
+            return Err(format!(
+                "outcomes diverge: seq {:?} vs {name} {:?}",
+                seq.outcome, other.outcome
+            ));
+        }
+        if !audit::selections_equal(&seq.sim, &other.sim, routers, prefixes) {
+            return Err(format!(
+                "selections diverge between the seq and {name} engines"
+            ));
+        }
+        if seq_trace != other_trace {
+            let lines_a = seq_trace.lines().count();
+            let lines_b = other_trace.lines().count();
+            let first_diff = seq_trace
+                .lines()
+                .zip(other_trace.lines())
+                .position(|(a, b)| a != b);
+            return Err(format!(
+                "obs traces diverge between seq and {name} \
+                 ({lines_a} vs {lines_b} events, first difference at line {first_diff:?})"
+            ));
+        }
     }
     Ok(())
 }

@@ -12,7 +12,7 @@ use abrr::scenarios::{Scenario, ScenarioTuning};
 use abrr::spec::{AbrrLoopPrevention, ClusterSpec, LatencyModel, Mode};
 use abrr::{BgpNode, NetworkSpec};
 use bgp_types::{ApId, AsPath, Asn, Ipv4Prefix, NextHop, PathAttributes, RouterId};
-use netsim::{RunLimits, RunOutcome, Sim};
+use netsim::{Engine, RunLimits, RunOutcome, Sim};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -318,14 +318,25 @@ impl Loaded {
         }
     }
 
-    /// Runs one mode: builds the sim, schedules the workload, compiles
-    /// the fault schedule, runs to the budget. `threads == 0` selects
-    /// the sequential engine. `with_faults: false` runs the fault-free
-    /// twin (the full-mesh equivalence oracle).
+    /// Runs one mode under the engine selected by the historical
+    /// `threads` convention (0 = sequential, N >= 1 = epoch-parallel).
     pub fn run(
         &self,
         mode: ModeSpec,
         threads: usize,
+        with_faults: bool,
+    ) -> Result<RunReport, String> {
+        self.run_engine(mode, Engine::from_threads(threads), with_faults)
+    }
+
+    /// Runs one mode: builds the sim, schedules the workload, compiles
+    /// the fault schedule, runs to the budget under `engine`.
+    /// `with_faults: false` runs the fault-free twin (the full-mesh
+    /// equivalence oracle).
+    pub fn run_engine(
+        &self,
+        mode: ModeSpec,
+        engine: Engine,
         with_faults: bool,
     ) -> Result<RunReport, String> {
         let budget = self.file().budget;
@@ -362,11 +373,7 @@ impl Loaded {
                 regen::replay(&mut sim, &churn::initial_snapshot(&t.model), 1_000);
             }
         }
-        let outcome = if threads == 0 {
-            sim.run(limits)
-        } else {
-            sim.run_parallel(threads, limits)
-        };
+        let outcome = sim.run_engine(engine, limits);
         Ok(RunReport { spec, sim, outcome })
     }
 }

@@ -12,6 +12,7 @@ use crate::compile;
 use crate::gen::generate;
 use crate::schema::ScenarioFile;
 use crate::shrink::shrink;
+use netsim::Engine;
 use std::path::{Path, PathBuf};
 
 /// Shrink-run budget per failing case.
@@ -56,7 +57,7 @@ pub fn fuzz(
     seed: u64,
     cases: usize,
     shrink_dir: Option<&Path>,
-    threads: usize,
+    engine: Engine,
     mut progress: impl FnMut(u64, &ScenarioReport),
 ) -> FuzzOutcome {
     let mut outcome = FuzzOutcome::default();
@@ -68,14 +69,14 @@ pub fn fuzz(
             "generator produced an invalid scenario for seed {case_seed}"
         );
         let loaded = compile::compile(file.clone());
-        let report = run_checks(&loaded, threads);
+        let report = run_checks(&loaded, engine);
         outcome.cases += 1;
         outcome.checks_run += report.checks_run;
         progress(case_seed, &report);
         if report.all_green() {
             continue;
         }
-        let shrunk = shrink(&file, threads, SHRINK_BUDGET);
+        let shrunk = shrink(&file, engine, SHRINK_BUDGET);
         let written_to = shrink_dir.and_then(|dir| {
             let path = dir.join(format!("shrunk-{case_seed}.json"));
             std::fs::create_dir_all(dir).ok()?;

@@ -12,6 +12,7 @@ use crate::check::run_checks;
 use crate::compile;
 use crate::schema::*;
 use crate::validate::validate;
+use netsim::Engine;
 use std::collections::BTreeSet;
 
 /// A failing oracle's identity: (mode keyword, oracle name).
@@ -19,12 +20,12 @@ pub type FailureKey = (String, String);
 
 /// The failing (mode, oracle) pairs of a scenario, or `None` when it
 /// does not compile/validate (an invalid shrink candidate).
-pub fn failure_keys(file: &ScenarioFile, threads: usize) -> Option<BTreeSet<FailureKey>> {
+pub fn failure_keys(file: &ScenarioFile, engine: Engine) -> Option<BTreeSet<FailureKey>> {
     if !validate(file).is_empty() {
         return None;
     }
     let loaded = compile::compile(file.clone());
-    let report = run_checks(&loaded, threads);
+    let report = run_checks(&loaded, engine);
     Some(
         report
             .failures
@@ -36,8 +37,8 @@ pub fn failure_keys(file: &ScenarioFile, threads: usize) -> Option<BTreeSet<Fail
 
 /// Shrinks `file` while at least one of `targets` keeps failing.
 /// `budget` bounds the number of candidate runs.
-pub fn shrink(file: &ScenarioFile, threads: usize, budget: usize) -> ScenarioFile {
-    let Some(targets) = failure_keys(file, threads) else {
+pub fn shrink(file: &ScenarioFile, engine: Engine, budget: usize) -> ScenarioFile {
+    let Some(targets) = failure_keys(file, engine) else {
         return file.clone();
     };
     if targets.is_empty() {
@@ -47,7 +48,7 @@ pub fn shrink(file: &ScenarioFile, threads: usize, budget: usize) -> ScenarioFil
     let mut runs = 0usize;
     let still_fails = |candidate: &ScenarioFile, runs: &mut usize| -> bool {
         *runs += 1;
-        match failure_keys(candidate, threads) {
+        match failure_keys(candidate, engine) {
             Some(keys) => keys.intersection(&targets).next().is_some(),
             None => false,
         }

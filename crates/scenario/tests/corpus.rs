@@ -6,6 +6,7 @@
 //! capture is in flight (same constraint as
 //! `crates/bench/tests/obs_determinism.rs`).
 
+use netsim::Engine;
 use scenario::shrink::shrink;
 use scenario::{load_path, run_checks};
 use std::path::PathBuf;
@@ -37,7 +38,7 @@ fn corpus_verdicts_and_shrink() {
                 continue;
             }
         };
-        let report = run_checks(&loaded, 0);
+        let report = run_checks(&loaded, Engine::Seq);
         if !report.verdict_ok() {
             problems.push(format!(
                 "{}: expect_fail={} but failures were {:#?}",
@@ -52,7 +53,7 @@ fn corpus_verdicts_and_shrink() {
     // --- the intentional blackhole must be caught and shrink --------
     let xfail = corpus_dir().join("xfail_blackhole.json");
     let loaded = load_path(&xfail).expect("xfail gadget loads");
-    let report = run_checks(&loaded, 0);
+    let report = run_checks(&loaded, Engine::Seq);
     assert!(
         report
             .failures
@@ -63,7 +64,7 @@ fn corpus_verdicts_and_shrink() {
     );
 
     let original = loaded.file().clone();
-    let shrunk = shrink(&original, 0, 200);
+    let shrunk = shrink(&original, Engine::Seq, 200);
     // The cruft (second feed, spare router, extra links, the session
     // flap) must be gone; the violation must survive.
     let size = |f: &scenario::ScenarioFile| {
@@ -95,7 +96,7 @@ fn corpus_verdicts_and_shrink() {
     // The shrunk scenario is itself a valid, still-failing corpus file.
     assert!(scenario::validate::validate(&shrunk).is_empty());
     let reloaded = scenario::load_str(&shrunk.to_json_pretty()).expect("shrunk file loads");
-    let report = run_checks(&reloaded, 0);
+    let report = run_checks(&reloaded, Engine::Seq);
     assert!(
         !report.failures.is_empty(),
         "shrunk scenario no longer fails"

@@ -1,15 +1,23 @@
 //! Fixed-seed fuzzer smoke: every generated scenario must pass the
 //! full oracle stack (the generator only emits recovery-guaranteed
-//! fault schedules, so ABRR has no excuse). One `#[test]` because the
+//! fault schedules, so ABRR has no excuse). Every generated case
+//! declares `engines_agree`, so each one compares the sequential,
+//! epoch-parallel, and AP-sharded engines. One `#[test]` because the
 //! cross-engine oracle captures the global obs trace stream.
 
 use scenario::fuzz;
 
 #[test]
 fn fixed_seed_sweep_is_green() {
-    let outcome = fuzz(0xAB88_2011, 10, None, 0, |_seed, _report| {});
-    assert_eq!(outcome.cases, 10);
-    assert!(outcome.checks_run >= 10);
+    let outcome = fuzz(
+        0xAB88_2011,
+        25,
+        None,
+        netsim::Engine::Seq,
+        |_seed, _report| {},
+    );
+    assert_eq!(outcome.cases, 25);
+    assert!(outcome.checks_run >= 25);
     assert!(
         outcome.all_green(),
         "fuzzer found failures: {:#?}",

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Scaling benchmark collector: runs the `scale` bin over both heavy
-# workloads (fig7-style churn, resilience-style ARR failover) across a
-# thread sweep and appends one JSON object per run to BENCH_<date>.json.
+# workloads (fig7-style churn, resilience-style ARR failover) across an
+# engine × worker sweep and appends one JSON object per run to
+# BENCH_<date>.json. Each row carries "engine" ("seq" / "epoch" /
+# "sharded"), "threads" (workers; 0 for seq), and "shards" (sharded
+# only; 0 elsewhere).
 #
 #   scripts/bench.sh [baseline-ref]
 #
@@ -13,14 +16,15 @@
 # exit.
 #
 # Knobs (env): PREFIXES (default 1000), MINUTES (default 5),
-# THREADS (default "0 1 2 4 8"), OUT (default BENCH_$(date +%F).json).
+# WORKERS (default "1 2 4 8", used by epoch and sharded),
+# OUT (default BENCH_$(date +%F).json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PREFIXES="${PREFIXES:-1000}"
 MINUTES="${MINUTES:-5}"
-THREADS="${THREADS:-0 1 2 4 8}"
+WORKERS="${WORKERS:-1 2 4 8}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
 
 echo "# building (release)..."
@@ -46,11 +50,17 @@ if [ "$#" -ge 1 ]; then
 fi
 
 for wl in churn failover; do
-    for t in $THREADS; do
-        echo "# optimized: $wl, threads=$t"
-        ./target/release/scale --workload "$wl" --threads "$t" \
-            --prefixes "$PREFIXES" --minutes "$MINUTES" \
-            --label optimized --out "$OUT"
+    echo "# optimized: $wl, engine=seq"
+    ./target/release/scale --workload "$wl" --engine seq \
+        --prefixes "$PREFIXES" --minutes "$MINUTES" \
+        --label optimized --out "$OUT"
+    for engine in epoch sharded; do
+        for t in $WORKERS; do
+            echo "# optimized: $wl, engine=$engine, workers=$t"
+            ./target/release/scale --workload "$wl" --engine "$engine" --threads "$t" \
+                --prefixes "$PREFIXES" --minutes "$MINUTES" \
+                --label optimized --out "$OUT"
+        done
     done
 done
 

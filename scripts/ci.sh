@@ -24,6 +24,12 @@ echo "== engine determinism (sequential vs parallel 1/2/8)"
 cargo test -q -p faults --test parallel_determinism
 cargo test -q -p netsim parallel
 
+echo "== sharded engine: golden fingerprints + obs traces at 2/8 shards"
+# Gates the AP-sharded engine byte-for-byte against the sequential
+# oracle on every golden scenario, plus the single-worker fast paths.
+cargo test -q -p netsim sharded
+cargo test -q -p abrr-bench --test sharded_determinism
+
 echo "== golden RIB-fingerprint regression (role engines vs recorded)"
 # Observability defaults off here, so this doubles as the gate that the
 # disabled obs path cannot drift golden results.
@@ -36,17 +42,20 @@ cargo test -q -p abrr-bench --test obs_determinism
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "== scale smoke (--threads 2, ~10 s)"
+echo "== scale smoke (epoch + sharded, ~15 s)"
 cargo build --release -p abrr-bench --bin scale
 ./target/release/scale --workload churn --threads 2 --prefixes 200 --minutes 1
 ./target/release/scale --workload failover --threads 2 --prefixes 200 --minutes 1
+./target/release/scale --workload churn --engine sharded --threads 2 --prefixes 200 --minutes 1
 
 echo "== scenario corpus + fixed-seed fuzz smoke"
 # Runs every gadget in examples/scenarios/ against its declared oracle
 # checks (xfail gadgets must be *caught*), then 25 generated scenarios
-# through the full oracle stack on both engines. Fixed seed: a failure
-# here is a regression in the generator, the engines, or the auditors —
-# never flake. Non-zero exit on any bad verdict.
+# through the full oracle stack; every case's engines_agree oracle
+# compares the sequential, epoch-parallel, and AP-sharded engines.
+# Fixed seed: a failure here is a regression in the generator, the
+# engines, or the auditors — never flake. Non-zero exit on any bad
+# verdict.
 cargo build --release -p abrr-bench --bin scenario
 ./target/release/scenario --dir examples/scenarios --fuzz 25 --seed 2011 \
   --shrink-dir results/shrunk --overlays results/table_overlays.txt
