@@ -13,10 +13,11 @@
 //! Run: `cargo run --release -p abrr-bench --bin fig6
 //!       [--prefixes N] [--seed S] [--balanced]`
 
-use abrr_bench::pipeline::{col, f, lcol, t, Table};
-use abrr_bench::{flag, tier1_config, Args, Experiment, FlagSpec, MinAvgMax};
+use abrr_bench::pipeline::{col, f, lcol, t, JsonRow, Table};
+use abrr_bench::{flag, peak_rss_kb, tier1_config, Args, Experiment, FlagSpec, MinAvgMax};
 use analysis::{BalRegression, Params};
 use std::sync::Arc;
+use std::time::Instant;
 use workload::specs::{self, SpecOptions};
 use workload::{Tier1Config, Tier1Model};
 
@@ -32,7 +33,33 @@ const FLAGS: &[FlagSpec] = &[
         "",
         "prefix-balanced APs instead of uniform address ranges",
     ),
+    flag(
+        "aps",
+        "LIST",
+        "comma-separated #AP sweep (default 1,2,4,8,16,32)",
+    ),
+    flag("no-tbrr", "", "skip the TBRR comparison configs"),
+    flag(
+        "out",
+        "FILE",
+        "append one JSON row per config to FILE (adds wall/RSS columns)",
+    ),
 ];
+
+/// Parses a `--aps 1,2,4` sweep list, defaulting to the paper's sweep.
+fn ap_sweep(args: &Args) -> Vec<usize> {
+    match args.map_get("aps") {
+        Some(s) => s
+            .split(',')
+            .map(|x| {
+                x.trim()
+                    .parse()
+                    .expect("--aps expects a comma-separated list of counts")
+            })
+            .collect(),
+        None => vec![1, 2, 4, 8, 16, 32],
+    }
+}
 
 fn row(table: &Table, config: String, stats: (MinAvgMax, MinAvgMax), theory: analysis::RibSizes) {
     let (rib_in, rib_out) = stats;
@@ -97,8 +124,28 @@ fn main() {
         balanced_aps: balanced,
         ..Default::default()
     };
+    let out = args.map_get("out");
+    let emit = |config: &str, stats: &(MinAvgMax, MinAvgMax), wall_ms: f64, quiesced: bool| {
+        if out.is_none() {
+            return;
+        }
+        JsonRow::new()
+            .str("fig", "fig6")
+            .str("config", config)
+            .usize("prefixes", model.prefixes.len())
+            .u64("seed", cfg.seed)
+            .f64("rib_in_avg", stats.0.avg, 0)
+            .f64("rib_in_max", stats.0.max, 0)
+            .f64("rib_out_avg", stats.1.avg, 0)
+            .f64("rib_out_max", stats.1.max, 0)
+            .f64("wall_ms", wall_ms, 1)
+            .u64("rss_peak_kb", peak_rss_kb())
+            .bool("quiesced", quiesced)
+            .emit(out);
+    };
 
-    for n_aps in [1usize, 2, 4, 8, 16, 32] {
+    for n_aps in ap_sweep(&args) {
+        let wall = Instant::now();
         let spec = Arc::new(specs::abrr_spec(&model, n_aps, 2, &opts));
         let arrs = spec.all_arrs();
         let run = exp
@@ -111,15 +158,21 @@ fn main() {
             rrs: (2 * n_aps) as f64,
             bal: bal_all,
         });
-        row(
-            &table,
-            format!("ABRR #APs={n_aps}"),
-            (stats.rib_in, stats.rib_out),
-            theory,
+        let name = format!("ABRR #APs={n_aps}");
+        emit(
+            &name,
+            &(stats.rib_in, stats.rib_out),
+            wall.elapsed().as_secs_f64() * 1e3,
+            run.outcome.quiesced,
         );
+        row(&table, name, (stats.rib_in, stats.rib_out), theory);
     }
 
     for multipath in [false, true] {
+        if args.flag("no-tbrr") {
+            break;
+        }
+        let wall = Instant::now();
         let spec = Arc::new(specs::tbrr_spec(&model, 2, multipath, &opts));
         let trrs = spec.all_trrs();
         let n_clusters = spec.clusters.len();
@@ -143,15 +196,17 @@ fn main() {
         } else {
             analysis::tbrr(&params)
         };
-        row(
-            &table,
-            format!(
-                "TBRR{} #C={n_clusters}",
-                if multipath { "-multi" } else { "" }
-            ),
-            (stats.rib_in, stats.rib_out),
-            theory,
+        let name = format!(
+            "TBRR{} #C={n_clusters}",
+            if multipath { "-multi" } else { "" }
         );
+        emit(
+            &name,
+            &(stats.rib_in, stats.rib_out),
+            wall.elapsed().as_secs_f64() * 1e3,
+            run.outcome.quiesced,
+        );
+        row(&table, name, (stats.rib_in, stats.rib_out), theory);
     }
     println!(
         "\n# Paper checks: ARR avg ≈ theory; TRR experimental < theory (uniformity assumptions);"

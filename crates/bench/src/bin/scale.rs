@@ -17,7 +17,10 @@
 
 use abrr::prelude::*;
 use abrr_bench::pipeline::JsonRow;
-use abrr_bench::{flag, run_sim_engine, Args, Experiment, FlagSpec, SETTLE_BUDGET_US};
+use abrr_bench::{
+    flag, peak_rss_kb, run_churn_streaming, run_sim_engine, Args, Experiment, FlagSpec,
+    SETTLE_BUDGET_US,
+};
 use faults::{compile, FaultKind, FaultSchedule};
 use netsim::Engine;
 use std::sync::Arc;
@@ -50,19 +53,13 @@ const FLAGS: &[FlagSpec] = &[
         "FILE",
         "append the JSON row to FILE as well as stdout",
     ),
+    flag(
+        "stream",
+        "",
+        "drive the churn workload from the streaming trace iterator \
+         (bounded memory; trace never materializes)",
+    ),
 ];
-
-/// Peak resident set size of this process, in kB (`VmHWM`).
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
-        })
-        .unwrap_or(0)
-}
 
 struct Measured {
     events: u64,
@@ -81,6 +78,7 @@ fn churn_workload(
     minutes: u64,
     rate: f64,
     engine: Engine,
+    stream: bool,
 ) -> Measured {
     let opts = SpecOptions {
         mrai_us: 1_000_000,
@@ -99,16 +97,20 @@ fn churn_workload(
         events_per_sec: rate,
         ..ChurnConfig::default()
     };
-    let deadline = sim.now() + cfg.duration_us + SETTLE_BUDGET_US;
-    regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
-    let out2 = run_sim_engine(
-        &mut sim,
-        RunLimits {
-            max_events: u64::MAX,
-            max_time: deadline,
-        },
-        engine,
-    );
+    let out2 = if stream {
+        run_churn_streaming(&mut sim, model, &cfg, 1, engine)
+    } else {
+        let deadline = sim.now() + cfg.duration_us + SETTLE_BUDGET_US;
+        regen::replay(&mut sim, &churn::generate(model, &cfg), 1);
+        run_sim_engine(
+            &mut sim,
+            RunLimits {
+                max_events: u64::MAX,
+                max_time: deadline,
+            },
+            engine,
+        )
+    };
     Measured {
         events: out1.events + out2.events,
         quiesced: out2.quiesced,
@@ -190,10 +192,11 @@ fn main() {
     let n_prefixes = cfg.n_prefixes;
     let model = Tier1Model::generate(cfg);
 
+    let stream = args.flag("stream");
     let t = Instant::now();
     let m = match workload.as_str() {
         "failover" => failover_workload(&model, n_aps, minutes, rate, seed, engine),
-        "churn" => churn_workload(&model, n_aps, minutes, rate, engine),
+        "churn" => churn_workload(&model, n_aps, minutes, rate, engine, stream),
         other => panic!("unknown --workload {other} (expected churn|failover)"),
     };
     let wall = t.elapsed();
@@ -221,6 +224,7 @@ fn main() {
         .u64("events", m.events)
         .f64("events_per_sec", eps, 0)
         .u64("peak_rss_kb", peak_rss_kb())
+        .bool("streamed", stream)
         .bool("quiesced", m.quiesced)
         .u64("sim_end_us", m.sim_end_us)
         .u64("intern_hits", istats.hits)

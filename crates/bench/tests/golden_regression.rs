@@ -83,3 +83,39 @@ fn parallel_engine_matches_golden() {
         );
     }
 }
+
+/// Worker-count sweep over all three engines: the storage layer must be
+/// invisible to scheduling — every engine at 1, 2, and 8 workers
+/// reproduces the same goldens byte-for-byte.
+#[test]
+fn all_engines_match_golden_across_worker_counts() {
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        return; // blessing is done by the sequential test
+    }
+    use netsim::Engine;
+    let engines = [
+        Engine::Seq,
+        Engine::Epoch(1),
+        Engine::Epoch(2),
+        Engine::Epoch(8),
+        Engine::Sharded(1),
+        Engine::Sharded(2),
+        Engine::Sharded(8),
+    ];
+    let dir = golden_dir();
+    for scn in scenarios() {
+        let path = dir.join(format!("{}.txt", scn.name));
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()));
+        for engine in engines {
+            let actual = scn.run_engine(engine);
+            assert_eq!(
+                expected,
+                actual,
+                "scenario {} diverged under {engine:?} ({})",
+                scn.name,
+                diff_head(&expected, &actual)
+            );
+        }
+    }
+}

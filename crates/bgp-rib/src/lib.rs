@@ -23,7 +23,9 @@
 pub mod batch;
 pub mod decision;
 pub mod rib;
+pub mod store;
 
 pub use batch::CandidateBatch;
 pub use decision::{best_as_level, best_path, Candidate, DecisionConfig, IgpMetric, MedMode};
-pub use rib::{AdjRibIn, AdjRibOut, LocRib, PathSet};
+pub use rib::{AdjRibIn, AdjRibOut, ExportWalk, LocRib, PathSet};
+pub use store::PrefixSlab;

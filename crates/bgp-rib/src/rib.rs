@@ -6,18 +6,28 @@
 //!
 //! Path attributes are held behind [`Arc`] so that one attribute object
 //! is shared by every RIB and in-flight message that references it —
-//! at experiment scale (tens of thousands of prefixes × dozens of
+//! at experiment scale (hundreds of thousands of prefixes × dozens of
 //! routers) this is the difference between megabytes and gigabytes.
 //!
-//! Storage: per-prefix tables are [`FxHashMap`]s — prefix lookups and
-//! replacements dominate the churn hot path and need no order — while
-//! every API whose output order can reach an observable result
-//! ([`AdjRibIn::known_prefixes`], [`AdjRibIn::drop_peer`],
-//! [`AdjRibOut::iter_group`], [`LocRib::iter`]) sorts before returning,
-//! keeping the simulator bit-for-bit deterministic.
+//! Storage: every per-prefix table is a trie-indexed, slab-backed
+//! [`PrefixSlab`] (see [`crate::store`] for the layout and the single
+//! key-ordering policy). The old tables mixed `BTreeMap` peer keys with
+//! `FxHashMap` prefix keys and re-sorted snapshots at order-observable
+//! APIs; now *one* invariant covers everything:
+//!
+//! * prefixes iterate in lexicographic `(addr, len)` order, straight
+//!   off the trie index — [`AdjRibIn::known_prefixes`],
+//!   [`AdjRibIn::drop_peer`], [`AdjRibOut::iter_group`] and
+//!   [`LocRib::iter`] need no explicit sorts;
+//! * peers within a prefix slot are kept sorted by [`RouterId`], so
+//!   [`AdjRibIn::all_paths`] yields candidates in exactly the peer-id
+//!   order the old `BTreeMap` produced (that order reaches the decision
+//!   process's tie-breaking and is part of the determinism contract);
+//! * path sets stay sorted by [`PathId`] via `normalize`.
 
-use bgp_types::{FxHashMap, Ipv4Prefix, PathAttributes, PathId, RouterId};
-use std::collections::BTreeMap;
+use crate::store::PrefixSlab;
+use bgp_types::{Ipv4Prefix, PathAttributes, PathId, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The set of paths advertised for one prefix on one session, keyed by
@@ -31,18 +41,26 @@ fn normalize(mut set: PathSet) -> PathSet {
     set
 }
 
-/// Adj-RIB-In: per-peer tables of received routes.
+/// Adj-RIB-In: received routes, stored prefix-major.
 ///
 /// Replace-set semantics per (peer, prefix): each update carries the
 /// complete new path set for the prefix (paper §3.4: "should there be a
 /// change in the set of best AS-level routes, the ARRs will convey all
 /// such routes to the clients with each update"). A plain single-path
 /// session is the one-element special case.
+///
+/// One slab slot per prefix holds the per-peer path sets sorted by
+/// peer id; [`AdjRibIn::all_paths`] therefore yields candidates in
+/// (peer id, path id) order — byte-identical to the old peer-major
+/// `BTreeMap` layout — while the per-prefix hot path (one update =
+/// one slot probe) no longer touches every peer's table.
 #[derive(Clone, Debug, Default)]
 pub struct AdjRibIn {
-    // Outer map stays ordered: `all_paths` iterates peers in id order
-    // and that order reaches the decision process's candidate list.
-    tables: BTreeMap<RouterId, FxHashMap<Ipv4Prefix, PathSet>>,
+    table: PrefixSlab<Vec<(RouterId, PathSet)>>,
+    /// Sessions that ever spoke (withdrawals included) and were not
+    /// dropped — mirrors the old layout where even a no-op withdrawal
+    /// materialized the peer's (empty) table.
+    peers: BTreeSet<RouterId>,
     entries: usize,
 }
 
@@ -56,27 +74,41 @@ impl AdjRibIn {
     /// withdrawal. Returns `true` when the stored set changed.
     pub fn set_paths(&mut self, peer: RouterId, prefix: Ipv4Prefix, paths: PathSet) -> bool {
         let paths = normalize(paths);
-        let table = self.tables.entry(peer).or_default();
+        // Register the session even on a no-op withdrawal, matching the
+        // old `tables.entry(peer).or_default()` behavior that `peers()`
+        // exposes.
+        self.peers.insert(peer);
         if paths.is_empty() {
-            match table.remove(&prefix) {
-                Some(old) => {
+            let Some(slot) = self.table.get_mut(&prefix) else {
+                return false;
+            };
+            match slot.binary_search_by_key(&peer, |(r, _)| *r) {
+                Ok(i) => {
+                    let (_, old) = slot.remove(i);
                     self.entries -= old.len();
+                    if slot.is_empty() {
+                        self.table.remove(&prefix);
+                    }
                     true
                 }
-                None => false,
+                Err(_) => false,
             }
         } else {
-            match table.get_mut(&prefix) {
-                Some(slot) if *slot == paths => false,
-                Some(slot) => {
-                    self.entries -= slot.len();
-                    self.entries += paths.len();
-                    *slot = paths;
-                    true
+            let slot = self.table.get_or_insert_with(prefix, Vec::new);
+            match slot.binary_search_by_key(&peer, |(r, _)| *r) {
+                Ok(i) => {
+                    if slot[i].1 == paths {
+                        false
+                    } else {
+                        self.entries -= slot[i].1.len();
+                        self.entries += paths.len();
+                        slot[i].1 = paths;
+                        true
+                    }
                 }
-                None => {
+                Err(i) => {
                     self.entries += paths.len();
-                    table.insert(prefix, paths);
+                    slot.insert(i, (peer, paths));
                     true
                 }
             }
@@ -99,51 +131,68 @@ impl AdjRibIn {
     }
 
     /// Drops everything learned from `peer` (session reset). Returns the
-    /// prefixes that were present, sorted.
+    /// prefixes that were present, in prefix order.
     pub fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
-        match self.tables.remove(&peer) {
-            Some(table) => {
-                self.entries -= table.values().map(|s| s.len()).sum::<usize>();
-                let mut v: Vec<Ipv4Prefix> = table.into_keys().collect();
-                v.sort();
-                v
-            }
-            None => Vec::new(),
+        if !self.peers.remove(&peer) {
+            return Vec::new();
         }
+        let mut dropped = Vec::new();
+        let entries = &mut self.entries;
+        self.table.retain(
+            |p, slot| {
+                if let Ok(i) = slot.binary_search_by_key(&peer, |(r, _)| *r) {
+                    let (_, old) = slot.remove(i);
+                    *entries -= old.len();
+                    dropped.push(*p);
+                    !slot.is_empty()
+                } else {
+                    true
+                }
+            },
+            |_, _| {},
+        );
+        dropped
     }
 
     /// The path set for `(peer, prefix)`, empty slice if none.
     pub fn paths(&self, peer: RouterId, prefix: &Ipv4Prefix) -> &[(PathId, Arc<PathAttributes>)] {
-        self.tables
-            .get(&peer)
-            .and_then(|t| t.get(prefix))
-            .map(|v| v.as_slice())
+        self.table
+            .get(prefix)
+            .and_then(|slot| {
+                slot.binary_search_by_key(&peer, |(r, _)| *r)
+                    .ok()
+                    .map(|i| slot[i].1.as_slice())
+            })
             .unwrap_or(&[])
     }
 
-    /// Iterates every `(peer, path id, attrs)` stored for `prefix`.
+    /// Iterates every `(peer, path id, attrs)` stored for `prefix`, in
+    /// (peer id, path id) order.
     pub fn all_paths<'a>(
         &'a self,
         prefix: &'a Ipv4Prefix,
     ) -> impl Iterator<Item = (RouterId, PathId, &'a Arc<PathAttributes>)> + 'a {
-        self.tables.iter().flat_map(move |(peer, t)| {
-            t.get(prefix)
-                .into_iter()
-                .flatten()
-                .map(move |(id, a)| (*peer, *id, a))
-        })
+        self.table
+            .get(prefix)
+            .into_iter()
+            .flatten()
+            .flat_map(|(peer, set)| set.iter().map(move |(id, a)| (*peer, *id, a)))
     }
 
-    /// Every prefix known from any peer (deduplicated, sorted).
+    /// Every prefix known from any peer, in prefix order (the trie
+    /// index is already deduplicated and ordered — no sort).
     pub fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = self
-            .tables
-            .values()
-            .flat_map(|t| t.keys().copied())
-            .collect();
-        v.sort();
-        v.dedup();
-        v
+        self.table.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Prefixes known from any peer that overlap the inclusive address
+    /// range, in prefix order. Cost scales with the overlap, not the
+    /// table — the incremental path for Address-Partition reassignment.
+    pub fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix> {
+        self.table
+            .iter_overlapping(range_start, range_end)
+            .map(|(p, _)| *p)
+            .collect()
     }
 
     /// Total stored route entries — the paper's RIB-In size metric
@@ -152,30 +201,39 @@ impl AdjRibIn {
         self.entries
     }
 
-    /// Peers with a table (possibly empty after withdrawals).
+    /// Live trie nodes + allocated slots (occupancy gauge pair).
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.table.index_nodes(), self.table.slot_capacity())
+    }
+
+    /// Peers with a session (possibly route-less after withdrawals).
     pub fn peers(&self) -> impl Iterator<Item = RouterId> + '_ {
-        self.tables.keys().copied()
+        self.peers.iter().copied()
     }
 }
 
 /// Loc-RIB: the router's selected route per prefix.
 ///
-/// Backed by an ordered map; [`LocRib::lookup`] performs longest-prefix
-/// match by probing successively shorter prefixes (33 bounded probes),
-/// which is plenty for the audits while staying memory-lean at
-/// experiment scale. For a hot data-plane FIB, see
-/// [`bgp_types::PrefixTrie`].
-#[derive(Clone, Debug, Default)]
+/// Backed by a [`PrefixSlab`]; [`LocRib::lookup`] is a real trie walk
+/// (longest-prefix match in one descent) and [`LocRib::iter`] streams
+/// straight off the ordered index with no snapshot sort.
+#[derive(Clone, Debug)]
 pub struct LocRib<T> {
-    table: FxHashMap<Ipv4Prefix, T>,
+    table: PrefixSlab<T>,
+}
+
+impl<T> Default for LocRib<T> {
+    fn default() -> Self {
+        LocRib {
+            table: PrefixSlab::new(),
+        }
+    }
 }
 
 impl<T: Clone + PartialEq> LocRib<T> {
     /// Creates an empty Loc-RIB.
     pub fn new() -> Self {
-        LocRib {
-            table: FxHashMap::default(),
-        }
+        LocRib::default()
     }
 
     /// Sets the selection for `prefix`; `None` removes it. Returns
@@ -202,15 +260,10 @@ impl<T: Clone + PartialEq> LocRib<T> {
         self.table.get(prefix)
     }
 
-    /// Longest-prefix match against a destination address.
+    /// Longest-prefix match against a destination address (single trie
+    /// descent).
     pub fn lookup(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
-        for len in (0..=32u8).rev() {
-            let probe = Ipv4Prefix::new(addr, len);
-            if let Some(v) = self.table.get(&probe) {
-                return Some((probe, v));
-            }
-        }
-        None
+        self.table.longest_match(addr)
     }
 
     /// Number of selected prefixes.
@@ -223,20 +276,33 @@ impl<T: Clone + PartialEq> LocRib<T> {
         self.table.is_empty()
     }
 
-    /// Iterates `(prefix, selection)` in prefix order. Sorts a snapshot
-    /// of the keys — callers are audits, dumps and fingerprints, never
-    /// the per-update hot path.
+    /// Iterates `(prefix, selection)` in prefix order, streamed from
+    /// the trie index (no snapshot sort).
     pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
-        let mut v: Vec<(&Ipv4Prefix, &T)> = self.table.iter().collect();
-        v.sort_by_key(|(p, _)| **p);
-        v.into_iter()
+        self.table.iter()
+    }
+
+    /// Iterates selections overlapping the inclusive address range, in
+    /// prefix order.
+    pub fn iter_overlapping(
+        &self,
+        range_start: u32,
+        range_end: u32,
+    ) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
+        self.table.iter_overlapping(range_start, range_end)
+    }
+
+    /// Live trie nodes + allocated slots (occupancy gauge pair).
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.table.index_nodes(), self.table.slot_capacity())
     }
 }
 
 /// Adj-RIB-Out organized as peer groups: every member of a group
 /// receives the same routes, and the RIB-Out stores one copy per group
 /// (paper Appendix A's accounting; also how real routers exploit peer
-/// groups to generate an update once, per §3.3).
+/// groups to generate an update once, per §3.3). Per-session state is
+/// reduced to a cursor over the shared tables ([`AdjRibOut::export_walk`]).
 ///
 /// Per-peer exceptions (e.g. "do not send a route back to the client it
 /// was learned from", Table 1) are handled by the engines at
@@ -250,7 +316,7 @@ pub struct AdjRibOut {
 #[derive(Clone, Debug, Default)]
 struct GroupOut {
     members: Vec<RouterId>,
-    table: FxHashMap<Ipv4Prefix, PathSet>,
+    table: PrefixSlab<PathSet>,
 }
 
 impl AdjRibOut {
@@ -336,16 +402,41 @@ impl AdjRibOut {
 
     /// Iterates `(prefix, path set)` for one group in prefix order —
     /// this order reaches the wire during session resyncs, so it must
-    /// be deterministic.
+    /// be deterministic. Streams off the trie index; no snapshot sort.
     pub fn iter_group(&self, group: u32) -> impl Iterator<Item = (&Ipv4Prefix, &PathSet)> {
-        let mut v: Vec<(&Ipv4Prefix, &PathSet)> = self
-            .groups
+        self.groups
             .get(&group)
             .into_iter()
             .flat_map(|g| g.table.iter())
+    }
+
+    /// Starts a per-session export cursor for `peer`: walks every group
+    /// the peer belongs to in ascending group-id order, and within each
+    /// group every `(prefix, path set)` in prefix order — the
+    /// deterministic order a session resync puts routes on the wire.
+    /// The cursor borrows the shared per-group tables; nothing is
+    /// copied per session.
+    pub fn export_walk(&self, peer: RouterId) -> ExportWalk<'_> {
+        let mut groups: Vec<u32> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.members.contains(&peer))
+            .map(|(id, _)| *id)
             .collect();
-        v.sort_by_key(|(p, _)| **p);
-        v.into_iter()
+        groups.reverse(); // pop() from the back yields ascending ids
+        ExportWalk {
+            rib: self,
+            groups,
+            cur: None,
+        }
+    }
+
+    /// Live trie nodes + allocated slots summed over groups (occupancy
+    /// gauge pair).
+    pub fn occupancy(&self) -> (usize, usize) {
+        self.groups.values().fold((0, 0), |(n, s), g| {
+            (n + g.table.index_nodes(), s + g.table.slot_capacity())
+        })
     }
 
     /// Drops every stored route while keeping the group definitions: a
@@ -364,9 +455,40 @@ impl AdjRibOut {
     /// membership changes at runtime (e.g. AP reassignment).
     pub fn reset_group(&mut self, group: u32, members: Vec<RouterId>) {
         let g = self.groups.entry(group).or_default();
-        self.entries -= g.table.values().map(|v| v.len()).sum::<usize>();
+        self.entries -= g.table.iter().map(|(_, v)| v.len()).sum::<usize>();
         g.table.clear();
         g.members = members;
+    }
+}
+
+/// A per-session cursor over the peer-group-deduplicated export state:
+/// yields `(group, prefix, path set)` in (group id, prefix) order for
+/// every group the session's peer belongs to. See
+/// [`AdjRibOut::export_walk`].
+pub struct ExportWalk<'a> {
+    rib: &'a AdjRibOut,
+    /// Remaining group ids, descending (popped from the back).
+    groups: Vec<u32>,
+    /// Cursor position: current group and its table iterator.
+    cur: Option<(u32, GroupIter<'a>)>,
+}
+
+type GroupIter<'a> = Box<dyn Iterator<Item = (&'a Ipv4Prefix, &'a PathSet)> + 'a>;
+
+impl<'a> Iterator for ExportWalk<'a> {
+    type Item = (u32, &'a Ipv4Prefix, &'a PathSet);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((gid, it)) = &mut self.cur {
+                if let Some((p, set)) = it.next() {
+                    return Some((*gid, p, set));
+                }
+                self.cur = None;
+            }
+            let gid = self.groups.pop()?;
+            self.cur = Some((gid, Box::new(self.rib.iter_group(gid))));
+        }
     }
 }
 
@@ -427,6 +549,54 @@ mod tests {
         assert_eq!(dropped, vec![p]);
         assert_eq!(rib.num_entries(), 1);
         assert!(rib.drop_peer(RouterId(1)).is_empty());
+        // Peer 1 is forgotten; peer 2 still registered.
+        assert_eq!(rib.peers().collect::<Vec<_>>(), vec![RouterId(2)]);
+    }
+
+    #[test]
+    fn rib_in_peer_registered_on_noop_withdrawal() {
+        // A withdrawal from an unknown peer stores nothing but still
+        // registers the session, matching the old layout where
+        // `entry(peer).or_default()` materialized an empty table.
+        let mut rib = AdjRibIn::new();
+        assert!(!rib.withdraw(RouterId(7), pfx("10.0.0.0/8")));
+        assert_eq!(rib.peers().collect::<Vec<_>>(), vec![RouterId(7)]);
+        assert_eq!(rib.num_entries(), 0);
+    }
+
+    #[test]
+    fn rib_in_all_paths_ordered_by_peer_then_path_id() {
+        let mut rib = AdjRibIn::new();
+        let p = pfx("10.0.0.0/8");
+        // Inserted high peer first: iteration must still be ascending.
+        rib.set_paths(
+            RouterId(9),
+            p,
+            vec![(PathId(2), attrs(2)), (PathId(1), attrs(1))],
+        );
+        rib.set_single(RouterId(3), p, attrs(3));
+        let order: Vec<(RouterId, PathId)> = rib.all_paths(&p).map(|(r, id, _)| (r, id)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (RouterId(3), PathId(0)),
+                (RouterId(9), PathId(1)),
+                (RouterId(9), PathId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn rib_in_known_prefixes_in_range() {
+        let mut rib = AdjRibIn::new();
+        rib.set_single(RouterId(1), pfx("10.0.0.0/8"), attrs(1));
+        rib.set_single(RouterId(1), pfx("20.0.0.0/8"), attrs(2));
+        rib.set_single(RouterId(2), pfx("30.0.0.0/8"), attrs(3));
+        assert_eq!(
+            rib.known_prefixes_in(0x14000000, 0x14FFFFFF),
+            vec![pfx("20.0.0.0/8")]
+        );
+        assert_eq!(rib.known_prefixes_in(0, u32::MAX).len(), 3);
     }
 
     #[test]
@@ -500,6 +670,33 @@ mod tests {
         out.add_member(0, RouterId(2));
         assert_eq!(out.members(0), &[RouterId(1), RouterId(2)]);
         assert!(out.members(9).is_empty());
+    }
+
+    #[test]
+    fn rib_out_export_walk_order() {
+        let mut out = AdjRibOut::new();
+        out.define_group(2, vec![RouterId(1), RouterId(2)]);
+        out.define_group(1, vec![RouterId(1)]);
+        out.define_group(3, vec![RouterId(9)]);
+        out.set_paths(2, pfx("20.0.0.0/8"), vec![(PathId(1), attrs(1))]);
+        out.set_paths(2, pfx("10.0.0.0/8"), vec![(PathId(1), attrs(1))]);
+        out.set_paths(1, pfx("30.0.0.0/8"), vec![(PathId(1), attrs(1))]);
+        out.set_paths(3, pfx("5.0.0.0/8"), vec![(PathId(1), attrs(1))]);
+        let walked: Vec<(u32, Ipv4Prefix)> = out
+            .export_walk(RouterId(1))
+            .map(|(g, p, _)| (g, *p))
+            .collect();
+        // Groups ascending, prefixes ascending within each; group 3
+        // (peer not a member) skipped.
+        assert_eq!(
+            walked,
+            vec![
+                (1, pfx("30.0.0.0/8")),
+                (2, pfx("10.0.0.0/8")),
+                (2, pfx("20.0.0.0/8")),
+            ]
+        );
+        assert!(out.export_walk(RouterId(42)).next().is_none());
     }
 
     #[test]

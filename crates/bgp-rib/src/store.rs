@@ -1,0 +1,288 @@
+//! Arena-backed prefix-keyed storage: the common substrate under every
+//! RIB table.
+//!
+//! A [`PrefixSlab`] couples a [`PrefixTrie`] *index* (prefix → dense
+//! slot handle) with a contiguous slot arena holding the values. The
+//! trie gives ordered traversal, longest-prefix match, and range
+//! queries; the slab keeps the values themselves packed in a handful of
+//! large allocations instead of one hash-table bucket per prefix, and
+//! recycles freed slots through a free list so long churn runs do not
+//! grow the arena.
+//!
+//! # Determinism contract
+//!
+//! This is the single key-ordering policy for all RIB storage (the old
+//! tables mixed `BTreeMap` and `FxHashMap` layers and re-sorted at the
+//! edges):
+//!
+//! * [`PrefixSlab::iter`] and [`PrefixSlab::iter_overlapping`] always
+//!   yield prefixes in lexicographic `(addr, len)` order — the same
+//!   total order as `Ipv4Prefix`'s `Ord` — independent of insertion
+//!   history, removals, and free-list state. No caller needs to sort.
+//! * Slot handles are *internal*: they depend on allocation history and
+//!   must never leak into observable output. Every public API is keyed
+//!   by prefix.
+
+use bgp_types::{Ipv4Prefix, PrefixTrie};
+
+/// A map from [`Ipv4Prefix`] to `T`: trie-indexed, slab-backed, with
+/// ordered iteration and range queries. See the module docs for the
+/// determinism contract.
+#[derive(Clone, Debug)]
+pub struct PrefixSlab<T> {
+    index: PrefixTrie<u32>,
+    slots: Vec<Option<(Ipv4Prefix, T)>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for PrefixSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        PrefixSlab {
+            index: PrefixTrie::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Live trie nodes in the index (an occupancy gauge; interior nodes
+    /// included).
+    pub fn index_nodes(&self) -> usize {
+        self.index.node_count()
+    }
+
+    /// Allocated slot-arena capacity, including free-listed slots (an
+    /// occupancy gauge: live slots are [`PrefixSlab::len`]).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts `value` at `prefix`, returning the displaced value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        match self.index.get(&prefix) {
+            Some(&h) => {
+                let slot = self.slots[h as usize]
+                    .as_mut()
+                    .expect("indexed slot is live");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            None => {
+                let h = match self.free.pop() {
+                    Some(h) => {
+                        self.slots[h as usize] = Some((prefix, value));
+                        h
+                    }
+                    None => {
+                        let h = self.slots.len() as u32;
+                        self.slots.push(Some((prefix, value)));
+                        h
+                    }
+                };
+                self.index.insert(prefix, h);
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value at `prefix`; its slot is recycled.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        let h = self.index.remove(prefix)?;
+        self.free.push(h);
+        let (_, v) = self.slots[h as usize].take().expect("indexed slot is live");
+        Some(v)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        let h = *self.index.get(prefix)?;
+        self.slots[h as usize].as_ref().map(|(_, v)| v)
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
+        let h = *self.index.get(prefix)?;
+        self.slots[h as usize].as_mut().map(|(_, v)| v)
+    }
+
+    /// Returns the entry for `prefix`, inserting `default()` if absent.
+    pub fn get_or_insert_with(
+        &mut self,
+        prefix: Ipv4Prefix,
+        default: impl FnOnce() -> T,
+    ) -> &mut T {
+        if self.index.get(&prefix).is_none() {
+            self.insert(prefix, default());
+        }
+        self.get_mut(&prefix).expect("just inserted")
+    }
+
+    /// Longest-prefix match for a destination address.
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        let (p, &h) = self.index.longest_match(addr)?;
+        self.slots[h as usize].as_ref().map(|(_, v)| (p, v))
+    }
+
+    /// Iterates `(prefix, value)` in lexicographic prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
+        self.index.iter().map(|(_, &h)| {
+            let (p, v) = self.slots[h as usize]
+                .as_ref()
+                .expect("indexed slot is live");
+            (p, v)
+        })
+    }
+
+    /// Iterates entries overlapping the inclusive address range, in the
+    /// same order as [`PrefixSlab::iter`], pruning disjoint subtrees.
+    pub fn iter_overlapping(
+        &self,
+        range_start: u32,
+        range_end: u32,
+    ) -> impl Iterator<Item = (&Ipv4Prefix, &T)> {
+        self.index
+            .iter_overlapping(range_start, range_end)
+            .map(|(_, &h)| {
+                let (p, v) = self.slots[h as usize]
+                    .as_ref()
+                    .expect("indexed slot is live");
+                (p, v)
+            })
+    }
+
+    /// Removes all entries, retaining the slot arena's capacity.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.free.clear();
+        self.slots.clear();
+    }
+
+    /// Removes every entry for which `keep` returns `false`, passing
+    /// each removed value to `on_remove`. Visits entries in
+    /// lexicographic prefix order.
+    pub fn retain(
+        &mut self,
+        mut keep: impl FnMut(&Ipv4Prefix, &mut T) -> bool,
+        mut on_remove: impl FnMut(Ipv4Prefix, T),
+    ) {
+        // Two-pass: collect doomed prefixes (removal rewires the
+        // index), then remove them; index iteration gives prefix order.
+        let mut dead: Vec<Ipv4Prefix> = Vec::new();
+        for (_, &h) in self.index.iter() {
+            let (p, v) = self.slots[h as usize]
+                .as_mut()
+                .expect("indexed slot is live");
+            if !keep(p, v) {
+                dead.push(*p);
+            }
+        }
+        for p in dead {
+            if let Some(v) = self.remove(&p) {
+                on_remove(p, v);
+            }
+        }
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixSlab<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut s = PrefixSlab::new();
+        for (p, v) in iter {
+            s.insert(p, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_recycle() {
+        let mut s: PrefixSlab<u32> = PrefixSlab::new();
+        assert_eq!(s.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(s.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(s.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(&p("10.0.0.0/8")), Some(2));
+        assert!(s.is_empty());
+        // The freed slot is reused, not appended.
+        s.insert(p("11.0.0.0/8"), 3);
+        assert_eq!(s.slot_capacity(), 1);
+    }
+
+    #[test]
+    fn ordered_iteration_independent_of_insertion_order() {
+        let mut s: PrefixSlab<usize> = PrefixSlab::new();
+        let prefixes = ["30.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "20.0.0.0/8"];
+        for (i, x) in prefixes.iter().enumerate() {
+            s.insert(p(x), i);
+        }
+        s.remove(&p("20.0.0.0/8"));
+        s.insert(p("20.0.0.0/8"), 9); // recycled slot, order must not change
+        let got: Vec<Ipv4Prefix> = s.iter().map(|(p, _)| *p).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn range_iteration() {
+        let mut s: PrefixSlab<()> = PrefixSlab::new();
+        for x in ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"] {
+            s.insert(p(x), ());
+        }
+        let hits: Vec<String> = s
+            .iter_overlapping(0x0A000000, 0x14FFFFFF)
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert_eq!(hits, vec!["10.0.0.0/8", "20.0.0.0/8"]);
+    }
+
+    #[test]
+    fn longest_match() {
+        let mut s: PrefixSlab<u8> = PrefixSlab::new();
+        s.insert(p("10.0.0.0/8"), 8);
+        s.insert(p("10.1.0.0/16"), 16);
+        assert_eq!(s.longest_match(0x0A010203).map(|(_, v)| *v), Some(16));
+        assert_eq!(s.longest_match(0x0AFF0000).map(|(_, v)| *v), Some(8));
+        assert_eq!(s.longest_match(0x0B000000), None);
+    }
+
+    #[test]
+    fn retain_removes_in_order() {
+        let mut s: PrefixSlab<u32> = PrefixSlab::new();
+        for (i, x) in ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]
+            .iter()
+            .enumerate()
+        {
+            s.insert(p(x), i as u32);
+        }
+        let mut removed = Vec::new();
+        s.retain(|_, v| *v != 1, |p, _| removed.push(p));
+        assert_eq!(removed, vec![p("20.0.0.0/8")]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&p("20.0.0.0/8")), None);
+    }
+}

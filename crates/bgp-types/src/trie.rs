@@ -1,33 +1,44 @@
 //! A binary prefix trie keyed by [`Ipv4Prefix`].
 //!
 //! Used for RIB tables and longest-prefix matching. The design follows
-//! the classic uncompressed binary trie: one node per prefix bit. This
-//! keeps the code simple and robust (a design goal borrowed from
-//! smoltcp); RIB-scale experiments in this repo hold at most a few
-//! hundred thousand prefixes, where the uncompressed trie is entirely
+//! the classic uncompressed binary trie: one node per prefix bit. Nodes
+//! live in a single arena `Vec` and link to children by `u32` index
+//! (with a free list for recycling), so a trie of N prefixes is a
+//! handful of contiguous allocations rather than one `Box` per bit.
+//! For the dense, sequential /24 blocks that Tier-1 RIB tables hold,
+//! sibling prefixes share their whole covering chain and the arena
+//! stays cache-friendly; RIB-scale experiments in this repo hold a few
+//! hundred thousand prefixes, where the uncompressed layout is entirely
 //! adequate and trivially correct.
+//!
+//! Determinism contract: iteration is always in lexicographic
+//! `(addr, len)` order — identical to `Ipv4Prefix`'s derived `Ord` —
+//! regardless of insertion order, removals, or free-list state. Range
+//! iteration ([`PrefixTrie::iter_overlapping`]) preserves that order
+//! while pruning non-overlapping subtrees.
 
 use crate::prefix::Ipv4Prefix;
 use std::fmt;
 
+/// Arena null-link sentinel.
+const NONE: u32 = u32::MAX;
+
 #[derive(Clone)]
 struct Node<T> {
     value: Option<T>,
-    children: [Option<Box<Node<T>>>; 2],
-}
-
-impl<T> Default for Node<T> {
-    fn default() -> Self {
-        Node {
-            value: None,
-            children: [None, None],
-        }
-    }
+    children: [u32; 2],
 }
 
 impl<T> Node<T> {
+    fn empty() -> Self {
+        Node {
+            value: None,
+            children: [NONE, NONE],
+        }
+    }
+
     fn is_leaf_empty(&self) -> bool {
-        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+        self.value.is_none() && self.children[0] == NONE && self.children[1] == NONE
     }
 }
 
@@ -45,7 +56,10 @@ impl<T> Node<T> {
 /// ```
 #[derive(Clone)]
 pub struct PrefixTrie<T> {
-    root: Node<T>,
+    /// Node arena; index 0 is always the root.
+    nodes: Vec<Node<T>>,
+    /// Recycled arena slots available for reuse.
+    free: Vec<u32>,
     len: usize,
 }
 
@@ -59,7 +73,8 @@ impl<T> PrefixTrie<T> {
     /// Creates an empty trie.
     pub fn new() -> Self {
         PrefixTrie {
-            root: Node::default(),
+            nodes: vec![Node::empty()],
+            free: Vec::new(),
             len: 0,
         }
     }
@@ -74,14 +89,58 @@ impl<T> PrefixTrie<T> {
         self.len == 0
     }
 
-    /// Inserts `value` at `prefix`, returning the previous value if any.
-    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
-        let mut node = &mut self.root;
+    /// Number of live arena nodes (interior + valued), an occupancy
+    /// measure for observability: bytes ≈ `node_count * size_of::<Node>`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn alloc(&mut self) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node::empty();
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(Node::empty());
+            i
+        }
+    }
+
+    /// Walks to the node for `prefix`, allocating missing interior
+    /// nodes, and returns its arena index.
+    fn walk_alloc(&mut self, prefix: Ipv4Prefix) -> u32 {
+        let mut idx = 0u32;
         for i in 0..prefix.len() {
             let b = prefix.bit(i) as usize;
-            node = node.children[b].get_or_insert_with(Box::default);
+            let child = self.nodes[idx as usize].children[b];
+            idx = if child == NONE {
+                let c = self.alloc();
+                self.nodes[idx as usize].children[b] = c;
+                c
+            } else {
+                child
+            };
         }
-        let old = node.value.replace(value);
+        idx
+    }
+
+    /// Walks to the node for `prefix` without allocating.
+    fn walk(&self, prefix: &Ipv4Prefix) -> Option<u32> {
+        let mut idx = 0u32;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            idx = self.nodes[idx as usize].children[b];
+            if idx == NONE {
+                return None;
+            }
+        }
+        Some(idx)
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let idx = self.walk_alloc(prefix);
+        let old = self.nodes[idx as usize].value.replace(value);
         if old.is_none() {
             self.len += 1;
         }
@@ -90,22 +149,14 @@ impl<T> PrefixTrie<T> {
 
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
-        let mut node = &self.root;
-        for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].as_deref()?;
-        }
-        node.value.as_ref()
+        let idx = self.walk(prefix)?;
+        self.nodes[idx as usize].value.as_ref()
     }
 
     /// Exact-match mutable lookup.
     pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].as_deref_mut()?;
-        }
-        node.value.as_mut()
+        let idx = self.walk(prefix)?;
+        self.nodes[idx as usize].value.as_mut()
     }
 
     /// Returns the entry for `prefix`, inserting `default()` if absent.
@@ -114,11 +165,8 @@ impl<T> PrefixTrie<T> {
         prefix: Ipv4Prefix,
         default: impl FnOnce() -> T,
     ) -> &mut T {
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].get_or_insert_with(Box::default);
-        }
+        let idx = self.walk_alloc(prefix);
+        let node = &mut self.nodes[idx as usize];
         if node.value.is_none() {
             node.value = Some(default());
             self.len += 1;
@@ -126,34 +174,44 @@ impl<T> PrefixTrie<T> {
         node.value.as_mut().expect("just inserted")
     }
 
-    /// Removes and returns the value at `prefix`, pruning empty branches.
+    /// Removes and returns the value at `prefix`, pruning empty branches
+    /// (pruned arena slots go on the free list for reuse).
     pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
-        fn rec<T>(node: &mut Node<T>, prefix: &Ipv4Prefix, depth: u8) -> Option<T> {
-            if depth == prefix.len() {
-                return node.value.take();
+        // Record the root-to-node path so empty branches can be pruned
+        // bottom-up without recursion.
+        let mut path = [0u32; 33];
+        let mut idx = 0u32;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            idx = self.nodes[idx as usize].children[b];
+            if idx == NONE {
+                return None;
             }
-            let b = prefix.bit(depth) as usize;
-            let child = node.children[b].as_deref_mut()?;
-            let out = rec(child, prefix, depth + 1);
-            if out.is_some() && child.is_leaf_empty() {
-                node.children[b] = None;
+            path[(i + 1) as usize] = idx;
+        }
+        let out = self.nodes[idx as usize].value.take()?;
+        self.len -= 1;
+        for depth in (1..=prefix.len()).rev() {
+            let node = path[depth as usize];
+            if !self.nodes[node as usize].is_leaf_empty() {
+                break;
             }
-            out
+            let parent = path[(depth - 1) as usize];
+            let b = prefix.bit(depth - 1) as usize;
+            self.nodes[parent as usize].children[b] = NONE;
+            self.free.push(node);
         }
-        let out = rec(&mut self.root, prefix, 0);
-        if out.is_some() {
-            self.len -= 1;
-        }
-        out
+        Some(out)
     }
 
     /// Longest-prefix match for a destination address: the most specific
     /// stored prefix covering `addr`.
     pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
-        let mut node = &self.root;
+        let mut idx = 0u32;
         let mut best: Option<(Ipv4Prefix, &T)> = None;
         let mut depth: u8 = 0;
         loop {
+            let node = &self.nodes[idx as usize];
             if let Some(v) = &node.value {
                 best = Some((Ipv4Prefix::new(addr, depth), v));
             }
@@ -161,13 +219,11 @@ impl<T> PrefixTrie<T> {
                 break;
             }
             let b = ((addr >> (31 - depth)) & 1) as usize;
-            match node.children[b].as_deref() {
-                Some(child) => {
-                    node = child;
-                    depth += 1;
-                }
-                None => break,
+            idx = node.children[b];
+            if idx == NONE {
+                break;
             }
+            depth += 1;
         }
         best
     }
@@ -175,50 +231,84 @@ impl<T> PrefixTrie<T> {
     /// Iterates all `(prefix, value)` pairs in trie (lexicographic) order.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter {
-            stack: vec![(&self.root, 0u32, 0u8)],
+            trie: self,
+            stack: vec![(0, 0u32, 0u8)],
+            range: None,
         }
     }
 
     /// Iterates pairs whose prefix overlaps the address range
-    /// `[range_start, range_end]` (used for Address Partitions).
-    pub fn iter_overlapping(
-        &self,
-        range_start: u32,
-        range_end: u32,
-    ) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
-        self.iter()
-            .filter(move |(p, _)| p.first_addr() <= range_end && p.last_addr() >= range_start)
+    /// `[range_start, range_end]` (used for Address Partitions), in the
+    /// same lexicographic order as [`PrefixTrie::iter`]. Subtrees whose
+    /// address span misses the range are pruned without being visited,
+    /// so cost scales with the overlap, not the table size.
+    pub fn iter_overlapping(&self, range_start: u32, range_end: u32) -> Iter<'_, T> {
+        Iter {
+            trie: self,
+            stack: vec![(0, 0u32, 0u8)],
+            range: Some((range_start, range_end)),
+        }
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
-        self.root = Node::default();
+        self.nodes.clear();
+        self.nodes.push(Node::empty());
+        self.free.clear();
         self.len = 0;
     }
 }
 
-/// In-order iterator over a [`PrefixTrie`].
+/// In-order iterator over a [`PrefixTrie`], optionally restricted to an
+/// address range.
 pub struct Iter<'a, T> {
-    // (node, accumulated address bits, depth)
-    stack: Vec<(&'a Node<T>, u32, u8)>,
+    trie: &'a PrefixTrie<T>,
+    // (node index, accumulated address bits, depth)
+    stack: Vec<(u32, u32, u8)>,
+    // Inclusive [start, end] address-range restriction, if any.
+    range: Option<(u32, u32)>,
+}
+
+impl<'a, T> Iter<'a, T> {
+    /// Whether the subtree rooted at `(addr, depth)` — whose address
+    /// span is exactly the span of the prefix `addr/depth` — can hold
+    /// anything overlapping the restriction range.
+    fn span_overlaps(&self, addr: u32, depth: u8) -> bool {
+        match self.range {
+            None => true,
+            Some((start, end)) => {
+                let span_end = if depth >= 32 {
+                    addr
+                } else {
+                    addr | (u32::MAX >> depth)
+                };
+                addr <= end && span_end >= start
+            }
+        }
+    }
 }
 
 impl<'a, T> Iterator for Iter<'a, T> {
     type Item = (Ipv4Prefix, &'a T);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some((node, addr, depth)) = self.stack.pop() {
+        while let Some((idx, addr, depth)) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
             // Push children right-then-left so the left (0) branch pops first.
             if depth < 32 {
-                if let Some(c) = node.children[1].as_deref() {
-                    self.stack
-                        .push((c, addr | (0x8000_0000 >> depth), depth + 1));
+                if node.children[1] != NONE {
+                    let caddr = addr | (0x8000_0000 >> depth);
+                    if self.span_overlaps(caddr, depth + 1) {
+                        self.stack.push((node.children[1], caddr, depth + 1));
+                    }
                 }
-                if let Some(c) = node.children[0].as_deref() {
-                    self.stack.push((c, addr, depth + 1));
+                if node.children[0] != NONE && self.span_overlaps(addr, depth + 1) {
+                    self.stack.push((node.children[0], addr, depth + 1));
                 }
             }
             if let Some(v) = &node.value {
+                // A prefix's own span equals its subtree span, so the
+                // subtree test above already proved overlap.
                 return Some((Ipv4Prefix::new(addr, depth), v));
             }
         }
@@ -313,6 +403,44 @@ mod tests {
     }
 
     #[test]
+    fn iter_overlapping_matches_filtered_full_iteration() {
+        // Pruned range iteration must agree exactly (contents and
+        // order) with filtering the full iteration, including covering
+        // prefixes that straddle the range boundary.
+        let mut t = PrefixTrie::new();
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.1.3.0/24",
+            "10.128.0.0/9",
+            "11.0.0.0/8",
+            "192.168.0.0/16",
+            "192.168.5.5/32",
+            "255.255.255.255/32",
+        ] {
+            t.insert(p(s), s);
+        }
+        for (start, end) in [
+            (0x0A010000u32, 0x0A01FFFFu32), // inside 10.1/16
+            (0x0A010280, 0x0A010280),       // single host inside 10.1.2/24
+            (0x00000000, 0xFFFFFFFF),       // everything
+            (0xC0A80000, 0xC0A8FFFF),       // 192.168/16
+            (0x0B000000, 0x0BFFFFFF),       // 11/8 only (plus default)
+            (0x50000000, 0x5FFFFFFF),       // nothing but the default route
+        ] {
+            let pruned: Vec<_> = t.iter_overlapping(start, end).map(|(p, _)| p).collect();
+            let filtered: Vec<_> = t
+                .iter()
+                .filter(|(p, _)| p.first_addr() <= end && p.last_addr() >= start)
+                .map(|(p, _)| p)
+                .collect();
+            assert_eq!(pruned, filtered, "range {start:#x}..={end:#x}");
+        }
+    }
+
+    #[test]
     fn get_or_insert_with() {
         let mut t: PrefixTrie<Vec<u32>> = PrefixTrie::new();
         t.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(1);
@@ -332,6 +460,20 @@ mod tests {
         assert!(t.get(&p("10.0.0.0/8")).is_some());
         // Root must not have dangling deep children: /24 unreachable now.
         assert!(t.get(&p("10.1.2.0/24")).is_none());
+        // Pruned slots are recycled: 16 freed nodes (/9../24 chain).
+        assert_eq!(t.node_count(), 9); // root + 8 bits of 10/8
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 1);
+        let high_water = t.node_count();
+        t.remove(&p("10.1.2.0/24"));
+        t.insert(p("10.1.3.0/24"), 2); // same depth, shares /23 chain
+        assert!(t.node_count() <= high_water);
+        assert_eq!(t.get(&p("10.1.3.0/24")), Some(&2));
+        assert_eq!(t.get(&p("10.1.2.0/24")), None);
     }
 
     #[test]

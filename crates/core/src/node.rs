@@ -63,6 +63,27 @@ impl Selected {
     }
 }
 
+/// The node's dirty-prefix worklist: every state-changing entry point
+/// (batch absorption, peer purge) records the prefixes whose role
+/// state changed, and one drain pass re-runs the decision for each.
+///
+/// Invariant: a prefix is on the worklist iff some role's stored state
+/// for it changed since the last drain; draining runs
+/// `ArrRole::recompute` once per ARR-dirty prefix and the shell
+/// decision once per dirty prefix (ARR-dirty prefixes are re-decided
+/// after their managed set is rebuilt, mirroring the monolith order).
+/// Nothing outside the worklist is ever re-decided — whole-prefix-space
+/// passes exist nowhere in the shell; even the §2.2 AP choreography
+/// seeds the worklist from pruned trie-range queries
+/// ([`Role::known_prefixes_in`]) instead of full-table scans.
+#[derive(Default)]
+struct Worklist {
+    /// Prefixes whose ARR-role managed table changed.
+    arr: BTreeSet<Ipv4Prefix>,
+    /// Prefixes where another role's state changed.
+    other: BTreeSet<Ipv4Prefix>,
+}
+
 /// How an incoming message is interpreted, per roles and mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InputKind {
@@ -93,6 +114,8 @@ pub struct BgpNode {
     /// [`NetworkSpec::proc_delay_base_us`]). Empty when the processing
     /// delay is zero.
     inbox: Vec<(RouterId, BgpMsg)>,
+    /// Dirty-prefix worklist (see [`Worklist`]); empty between drains.
+    dirty: Worklist,
 }
 
 impl BgpNode {
@@ -113,6 +136,7 @@ impl BgpNode {
             arr,
             trr,
             inbox: Vec::new(),
+            dirty: Worklist::default(),
         }
     }
 
@@ -239,16 +263,10 @@ impl BgpNode {
         self.ch.selection_changes.get(prefix).copied().unwrap_or(0)
     }
 
-    /// Iterates per-prefix selection-change counts, in prefix order.
+    /// Iterates per-prefix selection-change counts, in prefix order
+    /// (streamed off the slab's trie index; no snapshot sort).
     pub fn all_selection_changes(&self) -> impl Iterator<Item = (&Ipv4Prefix, u64)> {
-        let mut v: Vec<(&Ipv4Prefix, u64)> = self
-            .ch
-            .selection_changes
-            .iter()
-            .map(|(p, c)| (p, *c))
-            .collect();
-        v.sort_by_key(|(p, _)| **p);
-        v.into_iter()
+        self.ch.selection_changes.iter().map(|(p, c)| (p, *c))
     }
 
     /// §3.2/§3.4 extension accessor: the best pre-installed backup exit
@@ -289,6 +307,22 @@ impl BgpNode {
         set("core.rib_in.ebgp", self.ebgp_entries());
         set("core.loc_rib", self.loc_rib_len());
         set("core.rib_out", self.rib_out_size());
+        // Storage-internals occupancy over the arena-backed tables:
+        // live trie index nodes and allocated value slots, summed over
+        // every role RIB plus the Loc-RIB and the per-group RIB-Out.
+        // Makes the memory story auditable, not just entry counts.
+        let (mut nodes, mut slots) = (0usize, 0usize);
+        for role in self.roles() {
+            let (rn, rs) = role.occupancy();
+            nodes += rn;
+            slots += rs;
+        }
+        for (n2, s2) in [self.ch.loc_rib.occupancy(), self.ch.out.occupancy()] {
+            nodes += n2;
+            slots += s2;
+        }
+        set("core.store.index_nodes", nodes);
+        set("core.store.slots", slots);
     }
 
     /// The ARR-role paths currently stored from `peer` for `prefix`.
@@ -398,15 +432,27 @@ impl BgpNode {
     fn purge_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
         self.ch.mrai.remove(&peer);
         self.inbox.retain(|(from, _)| *from != peer);
-        let mut arr_affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-        let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-        affected.extend(self.client.drop_peer(peer));
-        affected.extend(self.trr.drop_peer(peer));
-        arr_affected.extend(self.arr.drop_peer(peer));
-        for p in &arr_affected {
+        let client_dropped = self.client.drop_peer(peer);
+        let trr_dropped = self.trr.drop_peer(peer);
+        self.dirty.other.extend(client_dropped);
+        self.dirty.other.extend(trr_dropped);
+        let arr_dropped = self.arr.drop_peer(peer);
+        self.dirty.arr.extend(arr_dropped);
+        self.drain_dirty(ctx);
+    }
+
+    /// Drains the dirty-prefix worklist: one `ArrRole::recompute` per
+    /// ARR-dirty prefix (rebuilds the managed set via the SoA
+    /// `CandidateBatch` scan), then one shell decision per dirty
+    /// prefix, in prefix order. Mirrors the monolith's ordering: a
+    /// prefix dirty on both lists is re-decided after its managed
+    /// rebuild.
+    fn drain_dirty(&mut self, ctx: &mut Ctx<BgpMsg>) {
+        let Worklist { arr, other } = std::mem::take(&mut self.dirty);
+        for p in &arr {
             self.arr.recompute(&mut self.ch, ctx, *p);
         }
-        for p in arr_affected.into_iter().chain(affected) {
+        for p in arr.into_iter().chain(other) {
             self.recompute(ctx, p);
         }
     }
@@ -454,12 +500,9 @@ impl BgpNode {
 
         // Re-run every covered prefix: the client function re-feeds the
         // (possibly new) ARRs, and a gaining ARR reflects its managed
-        // set as it arrives.
-        for p in self.known_prefixes() {
-            if self.ch.ap_covers(ap, &p) {
-                todo.insert(p);
-            }
-        }
+        // set as it arrives. Seeded by pruned trie-range queries over
+        // the AP's address ranges, not a full-table scan.
+        todo.extend(self.prefixes_covered_by(ap));
         for p in todo {
             if is_now_arr {
                 self.arr.recompute(&mut self.ch, ctx, p);
@@ -468,15 +511,18 @@ impl BgpNode {
         }
     }
 
-    /// All prefixes this node currently knows from any source.
-    fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = Vec::new();
-        for role in self.roles() {
-            v.extend(role.known_prefixes());
+    /// Every known prefix covered by `ap`, gathered incrementally: one
+    /// pruned trie-range walk per AP address range per role. Exact —
+    /// `Partition::covers` is "overlaps any range", which is precisely
+    /// the union of the per-range overlap queries.
+    fn prefixes_covered_by(&self, ap: ApId) -> BTreeSet<Ipv4Prefix> {
+        let mut out: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+        for r in self.ch.ap_ranges(ap) {
+            for role in self.roles() {
+                out.extend(role.known_prefixes_in(r.start(), r.end()));
+            }
         }
-        v.sort();
-        v.dedup();
-        v
+        out
     }
 }
 
@@ -487,8 +533,6 @@ impl BgpNode {
     /// queued together (the common case at an ARR, §4.2), they produce
     /// one combined recomputation — and one combined outbound update.
     fn process_batch(&mut self, ctx: &mut Ctx<BgpMsg>, batch: Vec<(RouterId, BgpMsg)>) {
-        let mut arr_changed: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-        let mut other_changed: BTreeSet<Ipv4Prefix> = BTreeSet::new();
         for (from, msg) in batch {
             let BgpMsg {
                 prefix,
@@ -507,17 +551,17 @@ impl BgpNode {
             match kind {
                 InputKind::Client => {
                     if self.client.absorb(&mut self.ch, rx) {
-                        other_changed.insert(prefix);
+                        self.dirty.other.insert(prefix);
                     }
                 }
                 InputKind::Arr => {
                     if self.arr.absorb(&mut self.ch, rx) {
-                        arr_changed.insert(prefix);
+                        self.dirty.arr.insert(prefix);
                     }
                 }
                 InputKind::Trr => {
                     if self.trr.absorb(&mut self.ch, rx) {
-                        other_changed.insert(prefix);
+                        self.dirty.other.insert(prefix);
                     }
                 }
                 InputKind::Unexpected => {
@@ -529,12 +573,7 @@ impl BgpNode {
                 }
             }
         }
-        for prefix in &arr_changed {
-            self.arr.recompute(&mut self.ch, ctx, *prefix);
-        }
-        for prefix in arr_changed.into_iter().chain(other_changed) {
-            self.recompute(ctx, prefix);
-        }
+        self.drain_dirty(ctx);
     }
 }
 
@@ -589,11 +628,10 @@ impl Protocol for BgpNode {
             }
             ExternalEvent::CutoverAp(ap) => {
                 if self.ch.accept_abrr.insert(ap) {
-                    // Re-evaluate every prefix the cutover AP covers.
-                    for p in self.known_prefixes() {
-                        if self.ch.ap_covers(ap, &p) {
-                            self.recompute(ctx, p);
-                        }
+                    // Re-evaluate every prefix the cutover AP covers —
+                    // pruned trie-range gathering, not a full scan.
+                    for p in self.prefixes_covered_by(ap) {
+                        self.recompute(ctx, p);
                     }
                 }
             }

@@ -151,9 +151,16 @@ impl ArrRole {
         ch.out.reset_group(g, Vec::new());
         self.arr_aps.retain(|a| *a != ap);
         let peers: Vec<RouterId> = self.arr_in.peers().collect();
-        for p in self.arr_in.known_prefixes() {
+        // Evict managed routes no remaining AP covers, gathering the
+        // lost AP's prefixes by pruned trie-range walk (range overlap
+        // is exactly `Partition::covers`), not a full-table scan.
+        let mut covered: std::collections::BTreeSet<Ipv4Prefix> = std::collections::BTreeSet::new();
+        for r in ch.ap_ranges(ap) {
+            covered.extend(self.arr_in.known_prefixes_in(r.start(), r.end()));
+        }
+        for p in covered {
             let still_served = self.arr_aps.iter().any(|a2| ch.ap_covers(*a2, &p));
-            if ch.ap_covers(ap, &p) && !still_served {
+            if !still_served {
                 for peer in &peers {
                     self.arr_in.withdraw(*peer, p);
                 }
@@ -250,6 +257,14 @@ impl Role for ArrRole {
 
     fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
         self.arr_in.known_prefixes()
+    }
+
+    fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix> {
+        self.arr_in.known_prefixes_in(range_start, range_end)
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        self.arr_in.occupancy()
     }
 
     fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {

@@ -9,10 +9,8 @@
 
 use super::{AdvertiseEnv, Chassis, Role, Rx};
 use crate::msg::BgpMsg;
-use bgp_rib::Candidate;
-use bgp_types::{
-    intern, Asn, FxHashMap, Ipv4Prefix, NextHop, PathAttributes, RouteSource, RouterId,
-};
+use bgp_rib::{Candidate, PrefixSlab};
+use bgp_types::{intern, Asn, Ipv4Prefix, NextHop, PathAttributes, RouteSource, RouterId};
 use netsim::Ctx;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -29,10 +27,11 @@ struct EbgpRoute {
 /// the sticky own-route set the client role's §3.4 storage policy
 /// consults.
 pub struct BorderRole {
-    /// eBGP Adj-RIB-In: prefix → (peer_addr → route). The outer map is
-    /// hashed (hot per-update lookups); the inner stays ordered because
-    /// peer order reaches the decision process's candidate list.
-    ebgp_in: FxHashMap<Ipv4Prefix, BTreeMap<u32, EbgpRoute>>,
+    /// eBGP Adj-RIB-In: prefix → (peer_addr → route). The outer table
+    /// is a trie-indexed slab (lexicographic prefix iteration, pruned
+    /// range queries); the inner map stays ordered because peer order
+    /// reaches the decision process's candidate list.
+    ebgp_in: PrefixSlab<BTreeMap<u32, EbgpRoute>>,
     /// Distinct eBGP session addresses ever seen (sessions outlive the
     /// routes they advertise; used for export accounting).
     ebgp_sessions: BTreeSet<u32>,
@@ -51,7 +50,7 @@ pub struct BorderRole {
 impl BorderRole {
     pub(crate) fn new() -> BorderRole {
         BorderRole {
-            ebgp_in: FxHashMap::default(),
+            ebgp_in: PrefixSlab::new(),
             ebgp_sessions: BTreeSet::new(),
             local_prefixes: BTreeSet::new(),
             own_ever: BTreeSet::new(),
@@ -61,7 +60,7 @@ impl BorderRole {
     /// Whether this router currently holds an eBGP or locally-originated
     /// route for `prefix` — i.e. whether it can act as the AS's exit.
     pub(crate) fn originates(&self, prefix: &Ipv4Prefix) -> bool {
-        self.local_prefixes.contains(prefix) || self.ebgp_in.contains_key(prefix)
+        self.local_prefixes.contains(prefix) || self.ebgp_in.get(prefix).is_some()
     }
 
     /// Whether `prefix` is in the sticky own-route set (see field docs).
@@ -71,7 +70,7 @@ impl BorderRole {
 
     /// eBGP Adj-RIB-In entries.
     pub(crate) fn ebgp_entries(&self) -> usize {
-        self.ebgp_in.values().map(|m| m.len()).sum()
+        self.ebgp_in.iter().map(|(_, m)| m.len()).sum()
     }
 
     /// The configured local prefixes (cloned: callers re-originate while
@@ -102,13 +101,15 @@ impl BorderRole {
         a.ext_communities.retain(|c| !c.is_abrr_reflected());
         self.own_ever.insert(prefix);
         self.ebgp_sessions.insert(peer_addr);
-        self.ebgp_in.entry(prefix).or_default().insert(
-            peer_addr,
-            EbgpRoute {
-                peer_as,
-                attrs: intern(a),
-            },
-        );
+        self.ebgp_in
+            .get_or_insert_with(prefix, BTreeMap::new)
+            .insert(
+                peer_addr,
+                EbgpRoute {
+                    peer_as,
+                    attrs: intern(a),
+                },
+            );
     }
 
     /// eBGP withdraw. Returns whether a stored route was removed (the
@@ -124,11 +125,13 @@ impl BorderRole {
             h.ebgp_events.inc();
         }
         let mut removed = false;
+        let mut now_empty = false;
         if let Some(m) = self.ebgp_in.get_mut(&prefix) {
             removed = m.remove(&peer_addr).is_some();
-            if m.is_empty() {
-                self.ebgp_in.remove(&prefix);
-            }
+            now_empty = m.is_empty();
+        }
+        if now_empty {
+            self.ebgp_in.remove(&prefix);
         }
         removed
     }
@@ -207,9 +210,30 @@ impl Role for BorderRole {
     }
 
     fn known_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut v: Vec<Ipv4Prefix> = self.ebgp_in.keys().copied().collect();
+        let mut v: Vec<Ipv4Prefix> = self.ebgp_in.iter().map(|(p, _)| *p).collect();
         v.extend(self.local_prefixes.iter().copied());
         v
+    }
+
+    fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self
+            .ebgp_in
+            .iter_overlapping(range_start, range_end)
+            .map(|(p, _)| *p)
+            .collect();
+        v.extend(
+            self.local_prefixes
+                .iter()
+                .filter(|p| p.first_addr() <= range_end && p.last_addr() >= range_start)
+                .copied(),
+        );
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        (self.ebgp_in.index_nodes(), self.ebgp_in.slot_capacity())
     }
 
     fn drop_peer(&mut self, _peer: RouterId) -> Vec<Ipv4Prefix> {

@@ -126,12 +126,16 @@ impl ClientRole {
         ap: bgp_types::ApId,
         arr: RouterId,
     ) -> Vec<Ipv4Prefix> {
+        // Gather the AP's covered prefixes by pruned trie-range walk
+        // (range overlap is exactly `Partition::covers`), not a
+        // full-table scan.
+        let mut covered: std::collections::BTreeSet<Ipv4Prefix> = std::collections::BTreeSet::new();
+        for r in ch.ap_ranges(ap) {
+            covered.extend(self.client_in.known_prefixes_in(r.start(), r.end()));
+        }
         let mut affected = Vec::new();
-        for p in self.client_in.known_prefixes() {
-            if ch.ap_covers(ap, &p)
-                && !self.client_in.paths(arr, &p).is_empty()
-                && self.client_in.withdraw(arr, p)
-            {
+        for p in covered {
+            if !self.client_in.paths(arr, &p).is_empty() && self.client_in.withdraw(arr, p) {
                 affected.push(p);
             }
         }
@@ -321,6 +325,23 @@ impl Role for ClientRole {
         let mut v = self.client_in.known_prefixes();
         v.extend(self.client_in_tbrr.known_prefixes());
         v
+    }
+
+    fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix> {
+        let mut v = self.client_in.known_prefixes_in(range_start, range_end);
+        v.extend(
+            self.client_in_tbrr
+                .known_prefixes_in(range_start, range_end),
+        );
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        let (n1, s1) = self.client_in.occupancy();
+        let (n2, s2) = self.client_in_tbrr.occupancy();
+        (n1 + n2, s1 + s2)
     }
 
     fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {

@@ -42,8 +42,8 @@ use crate::counters::UpdateCounters;
 use crate::msg::{BgpMsg, Plane};
 use crate::node::Selected;
 use crate::spec::{Mode, NetworkSpec};
-use bgp_rib::{best_path, AdjRibOut, Candidate, PathSet};
-use bgp_types::{ApId, FxHashMap, Ipv4Prefix, NextHop, PathAttributes, RouterId};
+use bgp_rib::{best_path, AdjRibOut, Candidate, PathSet, PrefixSlab};
+use bgp_types::{ApId, Ipv4Prefix, NextHop, PathAttributes, RouterId};
 use netsim::{Ctx, Mrai, MraiVerdict};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -116,7 +116,9 @@ pub struct Chassis {
     /// Selected routes.
     pub(crate) loc_rib: bgp_rib::LocRib<Selected>,
     /// Per-prefix best-route change counts (oscillation diagnostics).
-    pub(crate) selection_changes: FxHashMap<Ipv4Prefix, u64>,
+    /// Slab-backed so diagnostics iterate in prefix order without a
+    /// snapshot sort.
+    pub(crate) selection_changes: PrefixSlab<u64>,
     /// Update accounting.
     pub(crate) counters: UpdateCounters,
     /// Per-peer MRAI pacing, keyed by (plane, prefix).
@@ -146,7 +148,7 @@ impl Chassis {
             spec,
             out: AdjRibOut::new(),
             loc_rib: bgp_rib::LocRib::new(),
-            selection_changes: FxHashMap::default(),
+            selection_changes: PrefixSlab::new(),
             counters: UpdateCounters::default(),
             mrai: BTreeMap::new(),
             accept_abrr,
@@ -195,6 +197,17 @@ impl Chassis {
             .unwrap_or(false)
     }
 
+    /// The address ranges of partition `ap` (empty when no AP map or
+    /// unknown id) — the keys for pruned trie-range RIB queries.
+    pub(crate) fn ap_ranges(&self, ap: ApId) -> Vec<bgp_types::AddressRange> {
+        self.spec
+            .ap_map
+            .as_ref()
+            .and_then(|m| m.partition(ap))
+            .map(|p| p.ranges.clone())
+            .unwrap_or_default()
+    }
+
     pub(crate) fn aps_for_prefix(&self, prefix: &Ipv4Prefix) -> Vec<ApId> {
         self.spec
             .ap_map
@@ -235,7 +248,7 @@ impl Chassis {
             neighbor_id: cands[i].neighbor_id,
         });
         if self.loc_rib.set(prefix, selected.clone()) {
-            *self.selection_changes.entry(prefix).or_default() += 1;
+            *self.selection_changes.get_or_insert_with(prefix, || 0) += 1;
             obs::event!(Core, Debug, "core.select", node = self.id.0,
                 "prefix" => format!("{prefix:?}"),
                 "cands" => cands.len(),
@@ -354,7 +367,11 @@ impl Chassis {
     }
 
     /// Re-sends our current Adj-RIB-Out toward a peer whose session
-    /// just re-established (BGP full-table re-advertisement).
+    /// just re-established (BGP full-table re-advertisement). Walks the
+    /// peer-group-deduplicated export state through a per-session
+    /// cursor ([`AdjRibOut::export_walk`]): nothing is copied per
+    /// session, and the (group id, prefix) walk order is the
+    /// deterministic on-the-wire order.
     pub(crate) fn resync_peer(&mut self, ctx: &mut Ctx<BgpMsg>, peer: RouterId) {
         let plane_of_group = |g: u32| -> Plane {
             if g == crate::node::group::MESH {
@@ -368,27 +385,19 @@ impl Chassis {
                 Plane::Tbrr
             }
         };
-        let groups: Vec<u32> = self
-            .out
-            .group_ids()
-            .filter(|g| self.out.members(*g).contains(&peer))
-            .collect();
         let mut to_send: Vec<BgpMsg> = Vec::new();
-        for g in groups {
-            let plane = plane_of_group(g);
-            for (prefix, set) in self.out.iter_group(g) {
-                let effective: PathSet = set
-                    .iter()
-                    .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(peer.0))
-                    .cloned()
-                    .collect();
-                if !effective.is_empty() {
-                    to_send.push(BgpMsg {
-                        prefix: *prefix,
-                        paths: Arc::new(effective),
-                        plane,
-                    });
-                }
+        for (g, prefix, set) in self.out.export_walk(peer) {
+            let effective: PathSet = set
+                .iter()
+                .filter(|(_, a)| a.originator_id.map(|o| o.0) != Some(peer.0))
+                .cloned()
+                .collect();
+            if !effective.is_empty() {
+                to_send.push(BgpMsg {
+                    prefix: *prefix,
+                    paths: Arc::new(effective),
+                    plane: plane_of_group(g),
+                });
             }
         }
         for msg in to_send {
@@ -476,6 +485,17 @@ pub trait Role {
 
     /// Every prefix this role currently holds state for.
     fn known_prefixes(&self) -> Vec<Ipv4Prefix>;
+
+    /// The prefixes this role holds state for that overlap the
+    /// inclusive address range `[range_start, range_end]`, in prefix
+    /// order. The incremental path for Address-Partition choreography:
+    /// cost scales with the overlap (pruned trie-range walk), not the
+    /// table size.
+    fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix>;
+
+    /// `(trie index nodes, allocated value slots)` across this role's
+    /// storage — the occupancy pair behind the `core.store.*` gauges.
+    fn occupancy(&self) -> (usize, usize);
 
     /// Drops everything learned from `peer` (RFC 4271 §6 teardown).
     /// Returns the affected prefixes.

@@ -246,6 +246,14 @@ impl Role for TrrRole {
         self.trr_in.known_prefixes()
     }
 
+    fn known_prefixes_in(&self, range_start: u32, range_end: u32) -> Vec<Ipv4Prefix> {
+        self.trr_in.known_prefixes_in(range_start, range_end)
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        self.trr_in.occupancy()
+    }
+
     fn drop_peer(&mut self, peer: RouterId) -> Vec<Ipv4Prefix> {
         self.trr_in.drop_peer(peer)
     }

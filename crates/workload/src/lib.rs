@@ -28,5 +28,5 @@ pub mod regen;
 pub mod specs;
 pub mod tier1;
 
-pub use churn::{ChurnConfig, TraceEvent, TraceRecord};
+pub use churn::{ChurnConfig, ChurnStream, TraceEvent, TraceRecord};
 pub use tier1::{PrefixKind, PrefixPlan, RoutePlan, Tier1Config, Tier1Model};

@@ -17,7 +17,15 @@
 #
 # Knobs (env): PREFIXES (default 1000), MINUTES (default 5),
 # WORKERS (default "1 2 4 8", used by epoch and sharded),
-# OUT (default BENCH_$(date +%F).json).
+# OUT (default BENCH_$(date +%F).json),
+# TIER1_PREFIXES (default 0 = skip the Tier-1 stage).
+#
+# With TIER1_PREFIXES set (e.g. 100000), a second stage drives the
+# fig6/fig7 pipeline at that scale — streamed churn, peak-RSS sampled
+# from VmHWM — and appends its rows (wall_ms + rss_peak_kb columns) to
+# BENCH_<date>_tier1.json. TBRR configs are skipped there: at Tier-1
+# scale the full-mesh TRR state is exactly the blow-up the paper is
+# about.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +34,7 @@ PREFIXES="${PREFIXES:-1000}"
 MINUTES="${MINUTES:-5}"
 WORKERS="${WORKERS:-1 2 4 8}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
+TIER1_PREFIXES="${TIER1_PREFIXES:-0}"
 
 echo "# building (release)..."
 cargo build --release -p abrr-bench --bin scale
@@ -63,5 +72,16 @@ for wl in churn failover; do
         done
     done
 done
+
+if [ "$TIER1_PREFIXES" -gt 0 ]; then
+    TIER1_OUT="${TIER1_OUT:-BENCH_$(date +%F)_tier1.json}"
+    echo "# tier1 stage: fig6/fig7 at $TIER1_PREFIXES prefixes -> $TIER1_OUT"
+    cargo build --release -p abrr-bench --bin fig6 --bin fig7
+    ./target/release/fig6 --prefixes "$TIER1_PREFIXES" --aps 4,8,16 \
+        --no-tbrr --out "$TIER1_OUT"
+    ./target/release/fig7 --prefixes "$TIER1_PREFIXES" --aps 8 --minutes 2 \
+        --no-tbrr --stream --out "$TIER1_OUT"
+    echo "# wrote $TIER1_OUT"
+fi
 
 echo "# wrote $OUT"

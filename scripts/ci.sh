@@ -48,6 +48,28 @@ cargo build --release -p abrr-bench --bin scale
 ./target/release/scale --workload failover --threads 2 --prefixes 200 --minutes 1
 ./target/release/scale --workload churn --engine sharded --threads 2 --prefixes 200 --minutes 1
 
+echo "== tier1-scale smoke (20K prefixes, sharded engine, streamed churn, RSS budget)"
+# Exercises the arena/trie storage and the streaming churn driver at a
+# bounded Tier-1 scale: must complete, quiesce, and stay under a peak-RSS
+# budget (the compact-storage regression tripwire; ~4x headroom over the
+# recorded baseline so topology tweaks don't flake it).
+TIER1_OUT=$(mktemp)
+./target/release/scale --workload churn --engine sharded --threads 2 \
+  --prefixes 20000 --minutes 1 --stream --out "$TIER1_OUT"
+TIER1_RSS_KB=$(sed -n 's/.*"peak_rss_kb":\([0-9]*\).*/\1/p' "$TIER1_OUT")
+TIER1_QUIESCED=$(sed -n 's/.*"quiesced":\(true\|false\).*/\1/p' "$TIER1_OUT")
+rm -f "$TIER1_OUT"
+TIER1_RSS_BUDGET_KB=12000000 # 12 GB
+if [ "$TIER1_QUIESCED" != "true" ]; then
+  echo "tier1-scale smoke: did not quiesce" >&2
+  exit 1
+fi
+if [ -z "$TIER1_RSS_KB" ] || [ "$TIER1_RSS_KB" -gt "$TIER1_RSS_BUDGET_KB" ]; then
+  echo "tier1-scale smoke: peak RSS ${TIER1_RSS_KB:-unknown} kB exceeds budget ${TIER1_RSS_BUDGET_KB} kB" >&2
+  exit 1
+fi
+echo "tier1-scale smoke OK: peak RSS ${TIER1_RSS_KB} kB (budget ${TIER1_RSS_BUDGET_KB} kB)"
+
 echo "== scenario corpus + fixed-seed fuzz smoke"
 # Runs every gadget in examples/scenarios/ against its declared oracle
 # checks (xfail gadgets must be *caught*), then 25 generated scenarios
